@@ -1,0 +1,41 @@
+"""Figure 6 — mapping sparsification trade-off (delta sweep).
+
+For each dataset: sparsity rises monotonically with delta; accuracy stays
+flat (or improves slightly) for small delta and collapses only at large
+delta — the paper's accuracy/sparsity trade-off curve.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import dataset_budgets, format_table, run_fig6
+
+DATASETS = ("pubmed-sim", "flickr-sim", "reddit-sim")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig6(benchmark, contexts, dataset):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+
+    rows = benchmark.pedantic(
+        lambda: run_fig6(context, budget=budget),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, ["dataset", "delta", "sparsity", "accuracy",
+                              "mapping_nnz"],
+                       title=f"Fig. 6 — {dataset}"))
+    sparsities = [r["sparsity"] for r in rows]
+    assert all(b >= a - 1e-12 for a, b in zip(sparsities, sparsities[1:])), (
+        "sparsity must be monotone in delta")
+    accuracies = [r["accuracy"] for r in rows if not math.isnan(r["accuracy"])]
+    best = max(accuracies)
+    # Moderate thresholds must not hurt much; the curve peaks in the middle.
+    assert accuracies[0] <= best + 1e-9
+    small_delta_accuracy = max(accuracies[:4])
+    assert small_delta_accuracy >= best - 0.05, (
+        "small thresholds should retain near-peak accuracy")

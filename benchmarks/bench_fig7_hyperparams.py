@@ -1,0 +1,38 @@
+"""Figure 7 — sensitivity to the loss weights lambda and beta (flickr-sim,
+as in the paper).
+
+Each grid point is a full MCond condensation, so the sweep is kept small:
+one axis at a time around the defaults.  Expected shape: accuracy varies
+smoothly; extreme weights do not beat the tuned mid-range defaults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dataset_budgets, format_table, run_fig7
+
+DATASETS = ("flickr-sim",)
+LAMBDAS = (0.0, 0.1, 10.0)
+BETAS = (0.0, 100.0, 1000.0)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7(benchmark, contexts, dataset):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+
+    rows = benchmark.pedantic(
+        lambda: run_fig7(context, budget=budget, lambdas=LAMBDAS, betas=BETAS),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, ["dataset", "axis", "value", "lambda", "beta",
+                              "accuracy"],
+                       title=f"Fig. 7 — {dataset}"))
+    accuracies = [r["accuracy"] for r in rows]
+    assert max(accuracies) - min(accuracies) < 0.30, (
+        "hyper-parameter sweep should not destabilize training completely")
+    beta_rows = {r["value"]: r["accuracy"] for r in rows if r["axis"] == "beta"}
+    assert beta_rows[100.0] >= beta_rows[0.0] - 0.05, (
+        "the tuned beta should not lose to disabling the inductive loss")

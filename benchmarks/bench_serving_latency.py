@@ -1,0 +1,35 @@
+"""Micro-benchmark of the serving path itself (pytest-benchmark timing).
+
+Measures a single serve_batch call — attach + normalize + SGC forward —
+on the original vs the MCond synthetic deployment.  This is the quantity
+behind Fig. 3/4's per-batch latency; pytest-benchmark gives it proper
+statistical treatment (many rounds), complementing the one-shot harnesses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dataset_budgets
+from repro.inference import InductiveServer
+
+DATASETS = ("pubmed-sim", "reddit-sim")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("deployment", ("original", "synthetic"))
+def test_serve_batch_latency(benchmark, contexts, dataset, deployment):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+    condensed = context.reduce("mcond", budget) if deployment == "synthetic" else None
+    model = context.train(
+        "original" if deployment == "original" else "synthetic",
+        condensed=condensed,
+        validate_deployment=deployment)
+    server = InductiveServer(model, deployment, context.prepared.original,
+                             condensed)
+    batch = context.prepared.test_batch
+    first = batch.subset(range(min(1000, batch.num_nodes)))
+
+    logits, _, _ = benchmark(lambda: server.serve_batch(first, "node"))
+    assert logits.shape[0] == first.num_nodes

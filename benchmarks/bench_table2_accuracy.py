@@ -1,0 +1,45 @@
+"""Table II — inductive inference accuracy of every method.
+
+Regenerates, per dataset: {Whole, Random, Degree, Herding, K-Center, VNG,
+MCond_OS, GCond, MCond_SO, MCond_SS} x {graph batch, node batch} x two
+reduction budgets.  The expected shape (paper): MCond_OS beats all coreset
+and VNG baselines and approaches Whole; MCond_SO beats GCond; MCond_SS is
+close to MCond_SO; graph batch >= node batch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dataset_budgets, format_table, run_table2
+DATASETS = ("pubmed-sim", "flickr-sim", "reddit-sim")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table2(benchmark, contexts, dataset):
+    context = contexts[dataset]
+    budgets = dataset_budgets(dataset)
+
+    rows = benchmark.pedantic(
+        lambda: run_table2(context, budgets=budgets,
+                           batch_modes=("graph", "node")),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, ["dataset", "batch", "budget", "r", "method",
+                              "setting", "display"],
+                       title=f"Table II — {dataset}"))
+    by_key = {(r["batch"], r["budget"], r["method"]): r["accuracy"]
+              for r in rows}
+    for batch in ("graph", "node"):
+        for budget in budgets:
+            whole = by_key[(batch, budget, "whole")]
+            mcond_os = by_key[(batch, budget, "mcond_os")]
+            coreset_best = max(by_key[(batch, budget, m)]
+                               for m in ("random", "degree", "herding",
+                                         "kcenter"))
+            # Shape assertions (loose: quick profile, single seed).
+            assert mcond_os > coreset_best - 0.03, (
+                f"MCond_OS should beat coresets ({batch}, r={budget})")
+            assert mcond_os > whole - 0.15, (
+                f"MCond_OS should approach Whole ({batch}, r={budget})")

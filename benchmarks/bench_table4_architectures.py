@@ -1,0 +1,39 @@
+"""Table IV — generalizability across GNN architectures.
+
+GCN, GraphSAGE, APPNP and Cheby trained on MCond's synthetic graph and
+served both on the original graph (SO) and the connected synthetic graph
+(SS).  Expected shape: for every architecture, SS accuracy within a few
+points of SO at a fraction of the per-batch latency.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dataset_budgets, format_table, run_table4
+
+DATASETS = ("pubmed-sim", "flickr-sim", "reddit-sim")
+COLUMNS = ["dataset", "batch", "architecture", "method", "accuracy", "time_ms"]
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table4(benchmark, contexts, dataset):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+
+    rows = benchmark.pedantic(
+        lambda: run_table4(context, budget=budget),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, COLUMNS, title=f"Table IV — {dataset}"))
+    for batch in ("graph", "node"):
+        for arch in ("gcn", "graphsage", "appnp", "cheby"):
+            so = next(r for r in rows if r["batch"] == batch
+                      and r["architecture"] == arch and r["method"] == "mcond_so")
+            ss = next(r for r in rows if r["batch"] == batch
+                      and r["architecture"] == arch and r["method"] == "mcond_ss")
+            assert ss["time_ms"] < so["time_ms"], (
+                f"{arch}: synthetic serving must be faster than original")
+            assert ss["accuracy"] > so["accuracy"] - 0.25, (
+                f"{arch}: synthetic serving accuracy collapsed")

@@ -1,0 +1,35 @@
+"""Table V — ablation of MCond's optimization constraints.
+
+Four MCond_SS configurations per dataset: plain (no L_str, no L_ind),
+w/o L_str, w/o L_ind, and full.  Expected shape: the full model is best,
+and dropping the inductive loss hurts more than dropping the structure
+loss.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import dataset_budgets, format_table, run_table5
+
+DATASETS = ("pubmed-sim", "flickr-sim", "reddit-sim")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table5(benchmark, contexts, dataset):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+
+    rows = benchmark.pedantic(
+        lambda: run_table5(context, budget=budget),
+        rounds=1, iterations=1)
+
+    print()
+    print(format_table(rows, ["dataset", "budget", "ablation", "batch",
+                              "accuracy"],
+                       title=f"Table V — {dataset}"))
+    for batch in ("node", "graph"):
+        accuracy = {r["ablation"]: r["accuracy"] for r in rows
+                    if r["batch"] == batch}
+        assert accuracy["full"] >= accuracy["plain"] - 0.02, (
+            "full MCond should beat the plain ablation")

@@ -1,0 +1,74 @@
+"""Non-parametric calibration on the connected synthetic graph.
+
+Paper Table III / Section IV-D: because MCond's mapping attaches unseen
+nodes directly to the synthetic graph, classic label propagation (LP) and
+error propagation (EP) can calibrate the GNN's inductive predictions at
+negligible cost — the propagation runs over N' + n nodes instead of N + n.
+
+Run:  python examples/calibration_lp_ep.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.condense import MCondConfig, MCondReducer
+from repro.graph import load_dataset, symmetric_normalize
+from repro.inference import InductiveServer
+from repro.nn import TrainConfig, make_model, train_node_classifier
+from repro.nn.metrics import accuracy
+from repro.propagation import error_propagation, label_propagation, softmax_rows
+from repro.tensor import Tensor, no_grad
+
+
+def main() -> None:
+    split = load_dataset("pubmed-sim", seed=0)
+    config = MCondConfig(outer_loops=3, match_steps=10, mapping_steps=30, seed=0)
+    condensed = MCondReducer(config).reduce(split, budget=60)
+    model = make_model("sgc", split.original.feature_dim, split.num_classes,
+                       seed=0)
+    train_node_classifier(model, condensed.normalized_adjacency(),
+                          condensed.features, condensed.labels,
+                          np.arange(condensed.num_nodes),
+                          config=TrainConfig(epochs=100, patience=100))
+
+    test = split.incremental_batch("test")
+    print(f"dataset: {split!r}")
+    print(f"condensed: {condensed!r}\n")
+    header = (f"{'graph':<10} {'batch':<6} {'vanilla':>8} {'LP':>8} {'EP':>8} "
+              f"{'prop ms':>8}")
+    print(header)
+    print("-" * len(header))
+
+    for batch_mode in ("graph", "node"):
+        for deployment, base_labels in (("original", split.original.labels),
+                                        ("synthetic", condensed.labels)):
+            server = InductiveServer(model, deployment, split.original,
+                                     condensed)
+            attached = server.attach(test, batch_mode)
+            operator = symmetric_normalize(attached.adjacency)
+            with no_grad():
+                logits = model(operator, Tensor(attached.features)).data
+            base_logits = logits[:attached.base_size]
+            inductive_logits = logits[attached.base_size:]
+            vanilla = accuracy(inductive_logits, test.labels)
+
+            lp_scores, lp_time = label_propagation(
+                attached, base_labels, split.num_classes,
+                prior=softmax_rows(inductive_logits), return_time=True)
+            ep_scores, ep_time = error_propagation(
+                attached, base_labels, base_logits, inductive_logits,
+                split.num_classes, gamma=0.4, return_time=True)
+
+            label = "O" if deployment == "original" else "S"
+            print(f"{label:<10} {batch_mode:<6} {vanilla:>8.3f} "
+                  f"{accuracy(lp_scores, test.labels):>8.3f} "
+                  f"{accuracy(ep_scores, test.labels):>8.3f} "
+                  f"{(lp_time + ep_time) / 2 * 1e3:>8.2f}")
+
+    print("\npropagation on the synthetic graph is cheaper by roughly the "
+          "graph-size ratio, while LP/EP keep (or improve) accuracy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""MCond: mapping-aware graph condensation for inductive node representation learning.
+
+A full reproduction of Gao et al., *Graph Condensation for Inductive Node
+Representation Learning* (ICDE 2024), built from scratch on numpy/scipy:
+
+- :mod:`repro.tensor` — reverse-mode autodiff with higher-order gradients.
+- :mod:`repro.graph` — graph containers, synthetic dataset simulators,
+  inductive-node attachment (Eq. 3 / Eq. 11).
+- :mod:`repro.nn` — GNN models (SGC, GCN, GraphSAGE, APPNP, Cheby) and
+  optimizers.
+- :mod:`repro.condense` — coreset baselines, VNG, GCond, and MCond itself.
+- :mod:`repro.inference` — the four deployment settings (O→O, O→S, S→O,
+  S→S) with latency/memory accounting.
+- :mod:`repro.propagation` — label propagation and error propagation
+  calibration.
+- :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,113 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples
+--------
+::
+
+    python -m repro table2 --dataset pubmed-sim
+    python -m repro fig3   --dataset reddit-sim
+    python -m repro table5 --dataset flickr-sim --budget 70
+    python -m repro fig6   --dataset pubmed-sim --effort full
+
+Results print as aligned text tables (the same harnesses the benchmark
+suite runs); heavy artifacts (condensation, training) are computed once
+per invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.experiments import (
+    FULL,
+    QUICK,
+    ExperimentContext,
+    dataset_budgets,
+    format_table,
+    prepare_dataset,
+    run_fig34,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+
+_EXPERIMENTS = ("table2", "table3", "table4", "table5",
+                "fig3", "fig4", "fig5", "fig6", "fig7")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of the MCond paper (ICDE 2024)")
+    parser.add_argument("experiment", choices=_EXPERIMENTS,
+                        help="which table/figure to regenerate")
+    parser.add_argument("--dataset", default="pubmed-sim",
+                        help="dataset simulator name (default: pubmed-sim)")
+    parser.add_argument("--budget", type=int, default=None,
+                        help="synthetic node budget (default: the dataset's "
+                             "registered budgets)")
+    parser.add_argument("--effort", choices=("quick", "full"), default="quick",
+                        help="compute profile (default: quick)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="dataset seed (default: 0)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    profile = FULL if args.effort == "full" else QUICK
+    try:
+        context = ExperimentContext(
+            prepare_dataset(args.dataset, seed=args.seed), profile)
+        budgets = (dataset_budgets(args.dataset) if args.budget is None
+                   else (args.budget,))
+        rows, title = _dispatch(args.experiment, context, budgets)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if isinstance(rows, dict):
+        print(title)
+        for key, value in rows.items():
+            if isinstance(value, float):
+                print(f"  {key:36s} {value:.4f}")
+            elif not isinstance(value, list):
+                print(f"  {key:36s} {value}")
+    else:
+        print(format_table(rows, title=title))
+    return 0
+
+
+def _dispatch(experiment: str, context: ExperimentContext, budgets):
+    name = context.prepared.name
+    last = budgets[-1]
+    if experiment == "table2":
+        return run_table2(context, budgets=budgets), f"Table II — {name}"
+    if experiment == "table3":
+        return run_table3(context, budget=last), f"Table III — {name}"
+    if experiment == "table4":
+        return run_table4(context, budget=last), f"Table IV — {name}"
+    if experiment == "table5":
+        return run_table5(context, budget=last), f"Table V — {name}"
+    if experiment == "fig3":
+        return (run_fig34(context, budgets=budgets, batch_mode="graph"),
+                f"Fig. 3 — {name}")
+    if experiment == "fig4":
+        return (run_fig34(context, budgets=budgets, batch_mode="node"),
+                f"Fig. 4 — {name}")
+    if experiment == "fig5":
+        return run_fig5(context, budget=budgets[0]), f"Fig. 5 — {name}"
+    if experiment == "fig6":
+        return run_fig6(context, budget=last), f"Fig. 6 — {name}"
+    if experiment == "fig7":
+        return run_fig7(context, budget=last), f"Fig. 7 — {name}"
+    raise AssertionError(f"unhandled experiment {experiment}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,219 @@
+"""Common abstractions for graph reduction methods.
+
+Every method (coreset selection, VNG, GCond, MCond) produces a
+:class:`CondensedGraph`: a small weighted graph plus — when the method
+supports inductive attachment — an ``(N, N')`` mapping matrix from original
+to synthetic nodes.  Coreset methods get a one-hot selection mapping for
+free (an inductive node keeps its original edges to selected nodes), which
+lets a single inference engine serve every method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import CondensationError
+from repro.graph.datasets import InductiveSplit
+from repro.graph.graph import Graph
+from repro.graph.ops import dense_symmetric_normalize
+from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
+
+__all__ = ["CondensedGraph", "GraphReducer", "allocate_class_counts",
+           "selection_mapping"]
+
+
+@dataclass
+class CondensedGraph:
+    """A reduced graph ``S = {A', X', Y'}`` with optional node mapping ``M``.
+
+    Attributes
+    ----------
+    adjacency:
+        ``(N', N')`` dense weighted adjacency ``A'`` (synthetic graphs are
+        tiny, so dense storage is both simpler and faster).
+    features:
+        ``(N', d)`` synthetic node features ``X'``.
+    labels:
+        ``(N',)`` synthetic node labels ``Y'`` (predefined, class-balanced
+        to match the original label distribution).
+    mapping:
+        Optional ``(N, N')`` mapping matrix ``M`` (sparse CSR); ``None``
+        for methods that cannot attach inductive nodes (plain GCond).
+    method:
+        Name of the producing method, for reporting.
+    """
+
+    adjacency: np.ndarray
+    features: np.ndarray
+    labels: np.ndarray
+    mapping: sp.csr_matrix | None = None
+    method: str = "unknown"
+
+    def __post_init__(self) -> None:
+        self.adjacency = np.asarray(self.adjacency, dtype=np.float64)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.int64)
+        n = self.adjacency.shape[0]
+        if self.adjacency.shape != (n, n):
+            raise CondensationError(
+                f"synthetic adjacency must be square, got {self.adjacency.shape}")
+        if self.features.shape[0] != n or self.labels.shape[0] != n:
+            raise CondensationError(
+                "synthetic adjacency, features and labels disagree on N': "
+                f"{self.adjacency.shape[0]}, {self.features.shape[0]}, "
+                f"{self.labels.shape[0]}")
+        if self.mapping is not None:
+            self.mapping = self.mapping.tocsr().astype(np.float64)
+            if self.mapping.shape[1] != n:
+                raise CondensationError(
+                    f"mapping columns ({self.mapping.shape[1]}) != N' ({n})")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1 if self.labels.size else 0
+
+    def supports_attachment(self) -> bool:
+        """Whether inductive nodes can be attached (mapping available)."""
+        return self.mapping is not None
+
+    def to_graph(self) -> Graph:
+        """View as a :class:`Graph` (weighted adjacency as CSR)."""
+        return Graph(sp.csr_matrix(self.adjacency), self.features, self.labels)
+
+    def normalized_adjacency(self) -> np.ndarray:
+        """Dense symmetric-normalized ``Â'`` used for deployment."""
+        return dense_symmetric_normalize(self.adjacency, self_loops=True)
+
+    def sparse_adjacency(self) -> sp.csr_matrix:
+        """CSR view of ``A'`` with explicit zeros dropped."""
+        csr = sp.csr_matrix(self.adjacency)
+        csr.eliminate_zeros()
+        return csr
+
+    def storage_bytes(self, include_mapping: bool = True) -> int:
+        """Deployment storage: sparse ``A'`` + dense ``X'`` (+ sparse ``M``).
+
+        Mirrors the paper's memory criterion ``O(||A'||_0 + N' d)`` plus the
+        mapping matrix that synthetic-graph deployment must keep around.
+        """
+        total = sparse_memory_bytes(self.sparse_adjacency())
+        total += dense_memory_bytes(self.features)
+        if include_mapping and self.mapping is not None:
+            total += sparse_memory_bytes(self.mapping)
+        return total
+
+    def __repr__(self) -> str:
+        mapping_part = "none"
+        if self.mapping is not None:
+            mapping_part = f"{self.mapping.shape} nnz={self.mapping.nnz}"
+        return (
+            f"CondensedGraph(method={self.method!r}, nodes={self.num_nodes}, "
+            f"edges={int((self.adjacency > 0).sum())}, mapping={mapping_part})")
+
+    # ------------------------------------------------------------------
+    # Serialization: condense offline once, serve online many times.
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Persist the condensed artifact (graph + mapping) as ``.npz``."""
+        payload: dict[str, np.ndarray] = {
+            "adjacency": self.adjacency,
+            "features": self.features,
+            "labels": self.labels,
+            "method": np.asarray(self.method),
+        }
+        if self.mapping is not None:
+            coo = self.mapping.tocoo()
+            payload["mapping_row"] = coo.row
+            payload["mapping_col"] = coo.col
+            payload["mapping_data"] = coo.data
+            payload["mapping_shape"] = np.asarray(coo.shape)
+        np.savez_compressed(Path(path), **payload)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CondensedGraph":
+        """Load an artifact previously stored with :meth:`save`."""
+        with np.load(Path(path)) as archive:
+            mapping = None
+            if "mapping_row" in archive.files:
+                shape = tuple(int(v) for v in archive["mapping_shape"])
+                mapping = sp.coo_matrix(
+                    (archive["mapping_data"],
+                     (archive["mapping_row"], archive["mapping_col"])),
+                    shape=shape).tocsr()
+            return cls(adjacency=archive["adjacency"],
+                       features=archive["features"],
+                       labels=archive["labels"],
+                       mapping=mapping,
+                       method=str(archive["method"]))
+
+
+class GraphReducer:
+    """Interface implemented by every reduction method."""
+
+    name: str = "base"
+
+    def reduce(self, split: InductiveSplit, budget: int) -> CondensedGraph:
+        """Produce a condensed graph with ``budget`` synthetic nodes."""
+        raise NotImplementedError
+
+    def _check_budget(self, split: InductiveSplit, budget: int) -> None:
+        num_classes = split.num_classes
+        if budget < num_classes:
+            raise CondensationError(
+                f"budget {budget} is below the class count {num_classes}; "
+                "every class needs at least one synthetic node")
+        if budget >= split.original.num_nodes:
+            raise CondensationError(
+                f"budget {budget} is not smaller than the original graph "
+                f"({split.original.num_nodes} nodes)")
+
+
+def allocate_class_counts(labels: np.ndarray, budget: int,
+                          num_classes: int) -> np.ndarray:
+    """Distribute ``budget`` synthetic nodes across classes.
+
+    Follows the paper: synthetic labels are predefined to match the class
+    distribution of the original (labeled) nodes, with at least one node
+    per observed class.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    counts = np.bincount(labels, minlength=num_classes).astype(np.float64)
+    present = counts > 0
+    if budget < int(present.sum()):
+        raise CondensationError(
+            f"budget {budget} cannot cover {int(present.sum())} classes")
+    allocation = np.zeros(num_classes, dtype=np.int64)
+    allocation[present] = 1
+    remaining = budget - int(allocation.sum())
+    if remaining > 0:
+        fractions = counts / counts.sum()
+        extra = np.floor(fractions * remaining).astype(np.int64)
+        allocation += extra
+        shortfall = remaining - int(extra.sum())
+        if shortfall > 0:
+            order = np.argsort(-(fractions * remaining - extra))
+            for cls in order[:shortfall]:
+                allocation[cls] += 1
+    return allocation
+
+
+def selection_mapping(selected: np.ndarray, num_original: int) -> sp.csr_matrix:
+    """One-hot ``(N, N')`` mapping for node-selection methods.
+
+    ``M[i, j] = 1`` iff original node ``i`` *is* selected node ``j`` — so
+    ``a M`` keeps exactly the inductive edges that point at selected nodes.
+    """
+    selected = np.asarray(selected, dtype=np.int64)
+    data = np.ones(selected.size, dtype=np.float64)
+    return sp.csr_matrix(
+        (data, (selected, np.arange(selected.size))),
+        shape=(num_original, selected.size))

@@ -1,0 +1,82 @@
+"""Figure 5 — mapping-matrix structure and the class-aware initialization.
+
+(a) the trained mapping aggregated into class blocks is diagonal-dominant
+    (original nodes are represented mostly by same-class synthetic nodes);
+(b) the class-aware initialization already has that block structure;
+(c) class-aware initialization starts at a lower mapping loss, converges
+    faster, and ends at a higher accuracy than random initialization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.condense.mapping import MappingMatrix, class_block_mass
+from repro.experiments.pipeline import ExperimentContext
+from repro.experiments.settings import METHODS
+
+__all__ = ["run_fig5", "diagonal_dominance"]
+
+
+def diagonal_dominance(block_mass: np.ndarray) -> float:
+    """Mean ratio of the diagonal entry to its row sum (1.0 = perfectly
+    class-pure mapping)."""
+    sums = block_mass.sum(axis=1)
+    valid = sums > 0
+    if not valid.any():
+        return 0.0
+    return float((np.diag(block_mass)[valid] / sums[valid]).mean())
+
+
+def run_fig5(context: ExperimentContext, budget: int) -> dict:
+    """Reproduce Fig. 5's three panels as summary statistics."""
+    prepared = context.prepared
+    seed = context.profile.seeds[0]
+    num_classes = prepared.split.num_classes
+    original_labels = prepared.original.labels
+
+    results: dict[str, dict] = {}
+    for init_name, class_aware in (("class_aware", True), ("random", False)):
+        result = context.mcond_result(budget, seed=seed,
+                                      class_aware_init=class_aware)
+        condensed = result.condensed
+        spec = METHODS["mcond_ss"]
+        model = context.train(spec.train_source, condensed=condensed,
+                              validate_deployment=spec.eval_deployment,
+                              seed=seed)
+        report = context.evaluate(model, spec.eval_deployment, condensed,
+                                  batch_mode="node")
+        trained_mass = class_block_mass(result.mapping.normalized_array(),
+                                        original_labels, condensed.labels,
+                                        num_classes)
+        results[init_name] = {
+            "losses": list(result.mapping_losses),
+            "accuracy": report.accuracy,
+            "diagonal_dominance": diagonal_dominance(trained_mass),
+            "block_mass": trained_mass,
+        }
+
+    # Panel (b): the initialization itself, before any training.
+    synthetic_labels = context.reduce("mcond", budget, seed=seed).labels
+    init_mapping = MappingMatrix.class_aware(original_labels, synthetic_labels,
+                                             seed=seed)
+    init_mass = class_block_mass(init_mapping.normalized_array(),
+                                 original_labels, synthetic_labels,
+                                 num_classes)
+
+    class_aware = results["class_aware"]
+    random_init = results["random"]
+    return {
+        "dataset": prepared.name,
+        "budget": budget,
+        "trained_diagonal_dominance": class_aware["diagonal_dominance"],
+        "init_diagonal_dominance": diagonal_dominance(init_mass),
+        "loss_first_class_aware": class_aware["losses"][0],
+        "loss_first_random": random_init["losses"][0],
+        "loss_last_class_aware": class_aware["losses"][-1],
+        "loss_last_random": random_init["losses"][-1],
+        "accuracy_class_aware": class_aware["accuracy"],
+        "accuracy_random": random_init["accuracy"],
+        "losses_class_aware": class_aware["losses"],
+        "losses_random": random_init["losses"],
+    }

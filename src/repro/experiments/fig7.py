@@ -1,0 +1,64 @@
+"""Figure 7 — sensitivity to the loss weights ``lambda`` and ``beta``.
+
+Grid search over ``lambda_structure`` (weight of the structure loss,
+Eq. 9) and ``beta_inductive`` (weight of the inductive loss, Eq. 13),
+reporting MCond_OS accuracy for each combination.  Each (lambda, beta)
+pair requires its own condensation run, so the default grids are small;
+the paper's qualitative shape is a mid-range optimum on both axes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.pipeline import ExperimentContext
+from repro.experiments.settings import METHODS
+
+__all__ = ["run_fig7", "DEFAULT_LAMBDAS", "DEFAULT_BETAS"]
+
+DEFAULT_LAMBDAS = (0.0, 0.01, 0.1, 1.0, 10.0)
+DEFAULT_BETAS = (0.0, 1.0, 10.0, 100.0, 1000.0)
+
+
+def run_fig7(context: ExperimentContext, budget: int,
+             lambdas: Sequence[float] = DEFAULT_LAMBDAS,
+             betas: Sequence[float] = DEFAULT_BETAS,
+             batch_mode: str = "node") -> list[dict]:
+    """One dataset's Fig. 7 sensitivity grid.
+
+    The two axes are swept independently around the defaults (as in the
+    paper's two line plots), not as a full cross-product, to keep the
+    number of condensation runs linear.
+    """
+    rows: list[dict] = []
+    base_lambda = 0.1
+    base_beta = 100.0
+    for lam in lambdas:
+        rows.append(_run_point(context, budget, lam, base_beta,
+                               "lambda", lam, batch_mode))
+    for beta in betas:
+        rows.append(_run_point(context, budget, base_lambda, beta,
+                               "beta", beta, batch_mode))
+    return rows
+
+
+def _run_point(context: ExperimentContext, budget: int, lam: float,
+               beta: float, axis: str, value: float,
+               batch_mode: str) -> dict:
+    seed = context.profile.seeds[0]
+    condensed = context.reduce("mcond", budget, seed=seed,
+                               lambda_structure=lam, beta_inductive=beta)
+    spec = METHODS["mcond_os"]
+    model = context.train(spec.train_source, condensed=condensed,
+                          validate_deployment=spec.eval_deployment, seed=seed)
+    report = context.evaluate(model, spec.eval_deployment, condensed,
+                              batch_mode=batch_mode)
+    return {
+        "dataset": context.prepared.name,
+        "budget": budget,
+        "axis": axis,
+        "value": value,
+        "lambda": lam,
+        "beta": beta,
+        "accuracy": report.accuracy,
+    }

@@ -1,0 +1,248 @@
+"""Shared experiment pipeline: prepare → reduce → train → evaluate.
+
+:class:`ExperimentContext` memoizes the expensive stages (condensation and
+model training) so the table/figure harnesses can share work — e.g.
+Table II evaluates MCond under three deployment settings from a single
+condensation run, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.condense import (
+    CondensedGraph,
+    GCondConfig,
+    GCondReducer,
+    MCondConfig,
+    MCondReducer,
+    MCondResult,
+    VngReducer,
+    make_coreset,
+)
+from repro.experiments.settings import EffortProfile, MethodSpec, METHODS, current_profile
+from repro.graph.datasets import IncrementalBatch, InductiveSplit, load_dataset
+from repro.graph.ops import symmetric_normalize
+from repro.inference.engine import InductiveServer, InferenceReport
+from repro.nn.metrics import accuracy
+from repro.nn.models import GNNModel, make_model
+from repro.nn.trainer import TrainConfig, train_node_classifier
+
+__all__ = ["PreparedDataset", "prepare_dataset", "ExperimentContext"]
+
+_CORESET_NAMES = ("random", "degree", "herding", "kcenter")
+
+
+@dataclass
+class PreparedDataset:
+    """A dataset with the derived objects every experiment needs."""
+
+    name: str
+    split: InductiveSplit
+    val_batch: IncrementalBatch
+    test_batch: IncrementalBatch
+
+    @cached_property
+    def operator(self):
+        """Normalized adjacency of the original (training) graph."""
+        return symmetric_normalize(self.split.original.adjacency)
+
+    @property
+    def original(self):
+        return self.split.original
+
+    def reduction_ratio(self, budget: int) -> float:
+        """Effective ``r`` = synthetic nodes / original nodes."""
+        return budget / self.split.original.num_nodes
+
+
+def prepare_dataset(name: str, seed: int = 0, scale: float = 1.0) -> PreparedDataset:
+    """Load a dataset and precompute its evaluation batches."""
+    split = load_dataset(name, seed=seed, scale=scale)
+    return PreparedDataset(
+        name=name,
+        split=split,
+        val_batch=split.incremental_batch("val"),
+        test_batch=split.incremental_batch("test"))
+
+
+class ExperimentContext:
+    """Caches condensation and training results for one prepared dataset."""
+
+    def __init__(self, prepared: PreparedDataset,
+                 profile: EffortProfile | None = None) -> None:
+        self.prepared = prepared
+        self.profile = profile or current_profile()
+        self._condensed: dict[tuple, CondensedGraph] = {}
+        self._mcond_results: dict[tuple, MCondResult] = {}
+        self._models: dict[tuple, GNNModel] = {}
+
+    # ------------------------------------------------------------------
+    # Reduction
+    # ------------------------------------------------------------------
+    # Loss weights tuned per dataset by validation accuracy, exactly as the
+    # paper's grid search over {0, 0.01, 0.1, 1, 10, 100, 1000} (Sec. IV-A).
+    _TUNED_MCOND: dict[str, dict[str, float]] = {
+        "pubmed-sim": {"lambda_structure": 0.01},
+        "flickr-sim": {"lambda_structure": 0.1},
+        "reddit-sim": {"lambda_structure": 0.1},
+    }
+
+    def mcond_config(self, seed: int, **overrides) -> MCondConfig:
+        """MCond configuration at the context's effort profile."""
+        base = dict(
+            outer_loops=self.profile.outer_loops,
+            match_steps=self.profile.match_steps,
+            mapping_steps=self.profile.mapping_steps,
+            relay_steps=self.profile.relay_steps,
+            seed=seed)
+        base.update(self._TUNED_MCOND.get(self.prepared.name, {}))
+        base.update(overrides)
+        return MCondConfig(**base)
+
+    def gcond_config(self, seed: int, **overrides) -> GCondConfig:
+        base = dict(
+            outer_loops=self.profile.outer_loops,
+            match_steps=self.profile.match_steps,
+            relay_steps=self.profile.relay_steps,
+            seed=seed)
+        base.update(overrides)
+        return GCondConfig(**base)
+
+    def reduce(self, method: str, budget: int, seed: int = 0,
+               **overrides) -> CondensedGraph:
+        """Run (or fetch) a reduction method at the given budget."""
+        key = (method, budget, seed, tuple(sorted(overrides.items())))
+        if key in self._condensed:
+            return self._condensed[key]
+        if method in _CORESET_NAMES:
+            condensed = make_coreset(method, seed=seed).reduce(
+                self.prepared.split, budget)
+        elif method == "vng":
+            condensed = VngReducer(seed=seed).reduce(self.prepared.split, budget)
+        elif method == "gcond":
+            condensed = GCondReducer(self.gcond_config(seed, **overrides)).reduce(
+                self.prepared.split, budget)
+        elif method == "mcond":
+            reducer = MCondReducer(self.mcond_config(seed, **overrides))
+            condensed = reducer.reduce(self.prepared.split, budget)
+            assert reducer.last_result is not None
+            self._mcond_results[key] = reducer.last_result
+        else:
+            raise ConfigError(f"unknown reduction method {method!r}")
+        self._condensed[key] = condensed
+        return condensed
+
+    def mcond_result(self, budget: int, seed: int = 0, **overrides) -> MCondResult:
+        """Full MCond result (mapping module + loss histories)."""
+        key = ("mcond", budget, seed, tuple(sorted(overrides.items())))
+        if key not in self._mcond_results:
+            self.reduce("mcond", budget, seed, **overrides)
+        return self._mcond_results[key]
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_config(self) -> TrainConfig:
+        return TrainConfig(epochs=self.profile.train_epochs,
+                           lr=self.profile.train_lr,
+                           patience=self.profile.train_patience,
+                           eval_every=5)
+
+    def train(self, train_source: str, model_name: str = "sgc",
+              condensed: CondensedGraph | None = None,
+              validate_deployment: str | None = None,
+              seed: int = 0, **model_kwargs) -> GNNModel:
+        """Train a model on the original or a synthetic graph.
+
+        ``validate_deployment`` controls which deployment the early-stopping
+        validator simulates (defaults to the training side's graph).
+        """
+        if train_source not in ("original", "synthetic"):
+            raise ConfigError(
+                f"train_source must be 'original' or 'synthetic', got {train_source!r}")
+        condensed_key = None if condensed is None else id(condensed)
+        key = (train_source, model_name, condensed_key, validate_deployment,
+               seed, tuple(sorted(model_kwargs.items())))
+        if key in self._models:
+            return self._models[key]
+
+        split = self.prepared.split
+        graph = self.prepared.original
+        model = make_model(model_name, graph.feature_dim, split.num_classes,
+                           seed=seed, **model_kwargs)
+        if validate_deployment is None:
+            validate_deployment = "original" if train_source == "original" else (
+                "synthetic" if condensed is not None and condensed.supports_attachment()
+                else "original")
+        validator = self._make_validator(model, validate_deployment, condensed)
+
+        if train_source == "original":
+            train_node_classifier(
+                model, self.prepared.operator, graph.features, graph.labels,
+                split.labeled_in_original, validator=validator,
+                config=self.train_config())
+        else:
+            if condensed is None:
+                raise ConfigError("synthetic training requires a condensed graph")
+            operator = condensed.normalized_adjacency()
+            train_node_classifier(
+                model, operator, condensed.features, condensed.labels,
+                np.arange(condensed.num_nodes), validator=validator,
+                config=self.train_config())
+        self._models[key] = model
+        return model
+
+    def _make_validator(self, model: GNNModel, deployment: str,
+                        condensed: CondensedGraph | None):
+        prepared = self.prepared
+        if deployment == "synthetic" and (
+                condensed is None or not condensed.supports_attachment()):
+            deployment = "original"
+
+        def validator(current: GNNModel) -> float:
+            server = InductiveServer(current, deployment, prepared.original,
+                                     condensed)
+            logits, _, _ = server.serve_batch(prepared.val_batch, "graph")
+            return accuracy(logits, prepared.val_batch.labels)
+
+        return validator
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, model: GNNModel, deployment: str,
+                 condensed: CondensedGraph | None = None,
+                 which: str = "test", batch_mode: str = "graph",
+                 batch_size: int = 1000) -> InferenceReport:
+        """Serve an evaluation batch and report accuracy/latency/memory."""
+        batch = self.prepared.test_batch if which == "test" else self.prepared.val_batch
+        server = InductiveServer(model, deployment, self.prepared.original,
+                                 condensed)
+        return server.run(batch, batch_size=batch_size, batch_mode=batch_mode)
+
+    # ------------------------------------------------------------------
+    # Whole-method assembly (one Table II cell)
+    # ------------------------------------------------------------------
+    def run_method(self, method: str, budget: int, batch_mode: str = "graph",
+                   model_name: str = "sgc", seed: int = 0,
+                   batch_size: int = 1000) -> InferenceReport:
+        """Reduce (if needed), train, and evaluate one method end to end."""
+        if method not in METHODS:
+            raise ConfigError(
+                f"unknown method {method!r}; known: {', '.join(METHODS)}")
+        spec: MethodSpec = METHODS[method]
+        condensed = None
+        if spec.reducer is not None:
+            condensed = self.reduce(spec.reducer, budget, seed=seed)
+        model = self.train(spec.train_source, model_name=model_name,
+                           condensed=condensed,
+                           validate_deployment=spec.eval_deployment
+                           if condensed is not None else "original",
+                           seed=seed)
+        return self.evaluate(model, spec.eval_deployment, condensed,
+                             batch_mode=batch_mode, batch_size=batch_size)

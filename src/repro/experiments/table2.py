@@ -1,0 +1,50 @@
+"""Table II — inductive inference accuracy of all methods.
+
+For each dataset, budget (reduction ratio), batch setting and method, runs
+reduce → train → serve and reports test accuracy.  MCond is condensed once
+per (budget, seed) and reused across its three deployment variants, as in
+the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.pipeline import ExperimentContext
+from repro.experiments.reporting import format_mean_std, mean_std
+from repro.experiments.settings import METHODS
+
+__all__ = ["run_table2", "TABLE2_METHODS"]
+
+TABLE2_METHODS = ("whole", "random", "degree", "herding", "kcenter", "vng",
+                  "mcond_os", "gcond", "mcond_so", "mcond_ss")
+
+
+def run_table2(context: ExperimentContext, budgets: Sequence[int],
+               batch_modes: Sequence[str] = ("graph", "node"),
+               methods: Sequence[str] = TABLE2_METHODS) -> list[dict]:
+    """Run one dataset's slice of Table II; returns one row per cell."""
+    rows: list[dict] = []
+    prepared = context.prepared
+    for batch_mode in batch_modes:
+        for budget in budgets:
+            for method in methods:
+                accs = []
+                for seed in context.profile.seeds:
+                    report = context.run_method(method, budget,
+                                                batch_mode=batch_mode,
+                                                seed=seed)
+                    accs.append(report.accuracy)
+                mean, std = mean_std(accs)
+                rows.append({
+                    "dataset": prepared.name,
+                    "batch": batch_mode,
+                    "budget": budget,
+                    "r": f"{context.prepared.reduction_ratio(budget):.2%}",
+                    "method": method,
+                    "setting": METHODS[method].setting,
+                    "accuracy": mean,
+                    "std": std,
+                    "display": format_mean_std(accs),
+                })
+    return rows

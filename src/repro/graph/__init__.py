@@ -1,0 +1,47 @@
+"""Graph substrate: containers, generators, datasets, inductive attachment."""
+
+from repro.graph.graph import Graph
+from repro.graph.ops import (
+    add_self_loops,
+    remove_self_loops,
+    symmetric_normalize,
+    row_normalize,
+    normalize_adjacency,
+    symmetrize,
+    dense_symmetric_normalize,
+    edge_homophily,
+    connected_components_count,
+    adjacency_from_edges,
+    laplacian,
+)
+from repro.graph.incremental import (
+    AttachedGraph,
+    attach_to_original,
+    attach_to_synthetic,
+    convert_connections,
+)
+from repro.graph.generators import SbmConfig, generate_sbm_graph, smooth_features
+from repro.graph.datasets import (
+    DatasetSpec,
+    IncrementalBatch,
+    InductiveSplit,
+    DATASET_SPECS,
+    dataset_names,
+    load_dataset,
+    make_split,
+)
+from repro.graph.sampling import EdgeBatch, sample_edge_batch, iterate_minibatches
+
+__all__ = [
+    "Graph",
+    "add_self_loops", "remove_self_loops", "symmetric_normalize",
+    "row_normalize", "normalize_adjacency", "symmetrize",
+    "dense_symmetric_normalize", "edge_homophily",
+    "connected_components_count", "adjacency_from_edges", "laplacian",
+    "AttachedGraph", "attach_to_original", "attach_to_synthetic",
+    "convert_connections",
+    "SbmConfig", "generate_sbm_graph", "smooth_features",
+    "DatasetSpec", "IncrementalBatch", "InductiveSplit", "DATASET_SPECS",
+    "dataset_names", "load_dataset", "make_split",
+    "EdgeBatch", "sample_edge_batch", "iterate_minibatches",
+]

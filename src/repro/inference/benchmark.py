@@ -1,0 +1,84 @@
+"""Timing and storage helpers shared by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import InferenceError
+from repro.condense.base import CondensedGraph
+from repro.graph.graph import Graph
+from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
+
+__all__ = ["TimingStats", "time_callable", "graph_storage_bytes",
+           "deployment_storage_bytes", "speedup", "compression"]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Robust summary of repeated wall-clock measurements."""
+
+    mean_seconds: float
+    median_seconds: float
+    min_seconds: float
+    max_seconds: float
+    repeats: int
+
+    @property
+    def mean_milliseconds(self) -> float:
+        return self.mean_seconds * 1e3
+
+
+def time_callable(func: Callable[[], object], repeats: int = 5,
+                  warmup: int = 1) -> TimingStats:
+    """Time ``func`` with warm-up iterations excluded."""
+    if repeats <= 0:
+        raise InferenceError(f"repeats must be positive, got {repeats}")
+    for _ in range(warmup):
+        func()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        samples.append(time.perf_counter() - start)
+    arr = np.asarray(samples)
+    return TimingStats(
+        mean_seconds=float(arr.mean()),
+        median_seconds=float(np.median(arr)),
+        min_seconds=float(arr.min()),
+        max_seconds=float(arr.max()),
+        repeats=repeats)
+
+
+def graph_storage_bytes(graph: Graph) -> int:
+    """Deployment storage of a full graph: sparse adjacency + features."""
+    return sparse_memory_bytes(graph.adjacency) + dense_memory_bytes(graph.features)
+
+
+def deployment_storage_bytes(deployment: str, base: Graph,
+                             condensed: CondensedGraph | None = None) -> int:
+    """Storage of whatever the chosen deployment must keep resident."""
+    if deployment == "original":
+        return graph_storage_bytes(base)
+    if deployment == "synthetic":
+        if condensed is None:
+            raise InferenceError("synthetic deployment requires a condensed graph")
+        return condensed.storage_bytes(include_mapping=True)
+    raise InferenceError(f"unknown deployment {deployment!r}")
+
+
+def speedup(baseline_seconds: float, candidate_seconds: float) -> float:
+    """``baseline / candidate`` — how many times faster the candidate is."""
+    if candidate_seconds <= 0:
+        raise InferenceError("candidate time must be positive")
+    return baseline_seconds / candidate_seconds
+
+
+def compression(baseline_bytes: int, candidate_bytes: int) -> float:
+    """``baseline / candidate`` — how many times smaller the candidate is."""
+    if candidate_bytes <= 0:
+        raise InferenceError("candidate size must be positive")
+    return baseline_bytes / candidate_bytes

@@ -1,0 +1,175 @@
+"""Inductive inference engine for all four deployment settings.
+
+The engine serves batches of unseen nodes against either the *original*
+graph (Eq. 3 — conventional GC and the "Whole" baseline) or a *synthetic*
+graph with a mapping matrix (Eq. 11 — MCond, VNG and coresets).  For every
+batch it measures wall-clock latency of the full serving path — attach,
+normalize, forward — and the memory footprint of what deployment must hold:
+adjacency non-zeros, features, and (for synthetic serving) the mapping.
+
+The paper's two evaluation regimes are the ``batch_mode``:
+
+- ``"graph"`` — inductive nodes arrive as a connected subgraph (``ea`` kept);
+- ``"node"``  — they arrive in isolation (``ea`` zeroed).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import InferenceError
+from repro.condense.base import CondensedGraph
+from repro.graph.datasets import IncrementalBatch
+from repro.graph.graph import Graph
+from repro.graph.incremental import AttachedGraph, attach_to_original, attach_to_synthetic
+from repro.graph.ops import symmetric_normalize
+from repro.graph.sampling import iterate_minibatches
+from repro.nn.metrics import accuracy
+from repro.nn.models import GNNModel
+from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
+from repro.tensor.tensor import Tensor, no_grad
+
+__all__ = ["InferenceReport", "InductiveServer", "run_inference"]
+
+
+@dataclass
+class InferenceReport:
+    """Outcome of serving one inductive workload."""
+
+    accuracy: float
+    mean_batch_seconds: float
+    total_seconds: float
+    memory_bytes: int
+    num_batches: int
+    num_nodes: int
+    deployment: str
+    batch_mode: str
+    logits: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+
+    @property
+    def mean_batch_milliseconds(self) -> float:
+        return self.mean_batch_seconds * 1e3
+
+    @property
+    def memory_megabytes(self) -> float:
+        return self.memory_bytes / (1024.0 * 1024.0)
+
+
+class InductiveServer:
+    """Serves inductive batches against one deployed graph.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.nn.models.GNNModel`.
+    deployment:
+        ``"original"`` — serve on the original graph ``base``; or
+        ``"synthetic"`` — serve on ``condensed`` through its mapping.
+    base:
+        The original graph (required for both deployments: synthetic
+        serving still reads the incremental adjacency indexed by original
+        node ids).
+    condensed:
+        The reduced graph; required when ``deployment == "synthetic"`` and
+        it must carry a mapping matrix.
+    """
+
+    def __init__(self, model: GNNModel, deployment: str, base: Graph,
+                 condensed: CondensedGraph | None = None) -> None:
+        if deployment not in ("original", "synthetic"):
+            raise InferenceError(
+                f"deployment must be 'original' or 'synthetic', got {deployment!r}")
+        if deployment == "synthetic":
+            if condensed is None:
+                raise InferenceError("synthetic deployment requires a condensed graph")
+            if not condensed.supports_attachment():
+                raise InferenceError(
+                    f"method {condensed.method!r} has no mapping matrix; "
+                    "it cannot attach inductive nodes to the synthetic graph "
+                    "(this is exactly the limitation of conventional GC)")
+        self.model = model
+        self.deployment = deployment
+        self.base = base
+        self.condensed = condensed
+        if deployment == "synthetic":
+            assert condensed is not None
+            self._adjacency = condensed.sparse_adjacency()
+            self._features = condensed.features
+            self._mapping = condensed.mapping
+        else:
+            self._adjacency = base.adjacency
+            self._features = base.features
+            self._mapping = None
+
+    # ------------------------------------------------------------------
+    def attach(self, batch: IncrementalBatch,
+               batch_mode: str = "graph") -> AttachedGraph:
+        """Build the augmented graph of Eq. (3) / Eq. (11) for one batch."""
+        if batch_mode not in ("graph", "node"):
+            raise InferenceError(
+                f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
+        intra = batch.intra if batch_mode == "graph" else None
+        if self.deployment == "original":
+            return attach_to_original(self._adjacency, self._features,
+                                      batch.incremental, batch.features, intra)
+        return attach_to_synthetic(self._adjacency, self._features,
+                                   batch.incremental, batch.features,
+                                   self._mapping, intra)
+
+    def serve_batch(self, batch: IncrementalBatch,
+                    batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
+        """Serve one batch; returns ``(logits, seconds, memory_bytes)``."""
+        self.model.eval()
+        start = time.perf_counter()
+        attached = self.attach(batch, batch_mode)
+        operator = symmetric_normalize(attached.adjacency)
+        with no_grad():
+            logits = self.model(operator, Tensor(attached.features))
+        inductive = logits.data[attached.base_size:]
+        elapsed = time.perf_counter() - start
+        memory = sparse_memory_bytes(attached.adjacency)
+        memory += dense_memory_bytes(attached.features)
+        if self._mapping is not None:
+            memory += sparse_memory_bytes(self._mapping)
+        return inductive, elapsed, memory
+
+    def run(self, batch: IncrementalBatch, batch_size: int = 1000,
+            batch_mode: str = "graph") -> InferenceReport:
+        """Serve the full workload in mini-batches (paper: batch size 1000)."""
+        total_nodes = batch.num_nodes
+        if total_nodes == 0:
+            raise InferenceError("cannot serve an empty inductive batch")
+        all_logits: list[np.ndarray] = []
+        seconds = []
+        memories = []
+        for idx in iterate_minibatches(total_nodes, batch_size):
+            sub = batch.subset(idx) if idx.size != total_nodes else batch
+            logits, elapsed, memory = self.serve_batch(sub, batch_mode)
+            all_logits.append(logits)
+            seconds.append(elapsed)
+            memories.append(memory)
+        logits = np.vstack(all_logits)
+        return InferenceReport(
+            accuracy=accuracy(logits, batch.labels),
+            mean_batch_seconds=float(np.mean(seconds)),
+            total_seconds=float(np.sum(seconds)),
+            memory_bytes=int(np.mean(memories)),
+            num_batches=len(seconds),
+            num_nodes=total_nodes,
+            deployment=self.deployment,
+            batch_mode=batch_mode,
+            logits=logits)
+
+
+def run_inference(model: GNNModel, deployment: str, base: Graph,
+                  batch: IncrementalBatch,
+                  condensed: CondensedGraph | None = None,
+                  batch_size: int = 1000,
+                  batch_mode: str = "graph") -> InferenceReport:
+    """One-shot convenience wrapper around :class:`InductiveServer`."""
+    server = InductiveServer(model, deployment, base, condensed)
+    return server.run(batch, batch_size=batch_size, batch_mode=batch_mode)

@@ -1,0 +1,46 @@
+"""Neural substrate: modules, GNN models, optimizers, trainer, metrics."""
+
+from repro.nn.module import Module, Parameter
+from repro.nn.init import glorot_uniform, glorot_normal, zeros, uniform
+from repro.nn.layers import (
+    propagate,
+    Linear,
+    GCNConv,
+    SAGEConv,
+    ChebConv,
+    APPNPPropagate,
+    MLPBlock,
+)
+from repro.nn.models import (
+    GNNModel,
+    SGC,
+    GCN,
+    GraphSAGE,
+    APPNP,
+    Cheby,
+    MLP,
+    make_model,
+    MODEL_REGISTRY,
+)
+from repro.nn.optim import Optimizer, SGD, Adam
+from repro.nn.trainer import (
+    TrainConfig,
+    TrainResult,
+    train_node_classifier,
+    evaluate_logits,
+    evaluate_accuracy,
+)
+from repro.nn.metrics import accuracy, macro_f1, confusion_matrix, predictions_from_logits
+
+__all__ = [
+    "Module", "Parameter",
+    "glorot_uniform", "glorot_normal", "zeros", "uniform",
+    "propagate", "Linear", "GCNConv", "SAGEConv", "ChebConv",
+    "APPNPPropagate", "MLPBlock",
+    "GNNModel", "SGC", "GCN", "GraphSAGE", "APPNP", "Cheby", "MLP",
+    "make_model", "MODEL_REGISTRY",
+    "Optimizer", "SGD", "Adam",
+    "TrainConfig", "TrainResult", "train_node_classifier",
+    "evaluate_logits", "evaluate_accuracy",
+    "accuracy", "macro_f1", "confusion_matrix", "predictions_from_logits",
+]

@@ -1,0 +1,99 @@
+"""Minimal module system: parameter registration and state management.
+
+Mirrors the small subset of ``torch.nn.Module`` the paper's training loops
+need: recursive parameter collection, train/eval mode, and state dicts for
+checkpointing the best validation model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor that is always a trainable leaf."""
+
+    def __init__(self, data, name: str | None = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models.
+
+    Subclasses assign :class:`Parameter` and ``Module`` attributes in
+    ``__init__``; registration happens automatically through
+    ``__setattr__``.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children (depth-first)."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", True)
+        return self
+
+    def eval(self) -> "Module":
+        for module in self.modules():
+            object.__setattr__(module, "training", False)
+        return self
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of every parameter's data, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter data in place (shapes must match)."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        unexpected = set(state) - set(params)
+        if missing or unexpected:
+            raise ShapeError(
+                f"state dict mismatch: missing={sorted(missing)}, "
+                f"unexpected={sorted(unexpected)}")
+        for name, param in params.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != param.shape:
+                raise ShapeError(
+                    f"parameter {name}: state shape {value.shape} != {param.shape}")
+            param.data[...] = value
+
+    def num_parameters(self) -> int:
+        return int(sum(p.size for p in self.parameters()))

@@ -1,0 +1,120 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam).
+
+Optimizers read each parameter's accumulated ``.grad`` and update
+``.data`` in place; this happens strictly between graph constructions,
+which keeps the autodiff engine's immutability contract.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Parameter
+from repro.tensor.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer over an explicit parameter list."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float,
+                 weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        if weight_decay < 0:
+            raise ConfigError(f"weight decay must be >= 0, got {weight_decay}")
+        self.parameters = list(parameters)
+        if not self.parameters:
+            raise ConfigError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def _effective_grad(self, param: Parameter) -> np.ndarray | None:
+        if param.grad is None:
+            return None
+        g = param.grad.data
+        if self.weight_decay:
+            g = g + self.weight_decay * param.data
+        return g
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def apply_grads(self, grads: Sequence[Tensor | None]) -> None:
+        """Set ``.grad`` from an external list (functional-grad workflows)."""
+        if len(grads) != len(self.parameters):
+            raise ConfigError(
+                f"got {len(grads)} gradients for {len(self.parameters)} parameters")
+        for param, g in zip(self.parameters, grads):
+            param.grad = None if g is None else g.detach()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            g = self._effective_grad(param)
+            if g is None:
+                continue
+            if self.momentum:
+                velocity = self._velocity.get(id(param))
+                if velocity is None:
+                    velocity = np.zeros_like(param.data)
+                velocity = self.momentum * velocity + g
+                self._velocity[id(param)] = velocity
+                g = velocity
+            param.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0) -> None:
+        super().__init__(parameters, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ConfigError(f"betas must be in [0, 1), got {betas}")
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step_count = 0
+        self._first: dict[int, np.ndarray] = {}
+        self._second: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for param in self.parameters:
+            g = self._effective_grad(param)
+            if g is None:
+                continue
+            m = self._first.get(id(param))
+            v = self._second.get(id(param))
+            if m is None:
+                m = np.zeros_like(param.data)
+                v = np.zeros_like(param.data)
+            m = self.beta1 * m + (1.0 - self.beta1) * g
+            v = self.beta2 * v + (1.0 - self.beta2) * (g * g)
+            self._first[id(param)] = m
+            self._second[id(param)] = v
+            update = (m / bias1) / (np.sqrt(v / bias2) + self.eps)
+            param.data -= self.lr * update

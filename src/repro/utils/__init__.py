@@ -1,0 +1,6 @@
+"""Small shared utilities: seeding, timing, table-free progress logs."""
+
+from repro.utils.seeding import seed_everything, spawn_rngs
+from repro.utils.timers import Stopwatch, format_seconds
+
+__all__ = ["seed_everything", "spawn_rngs", "Stopwatch", "format_seconds"]

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic graphs, splits, and condensed graphs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.condense import CondensedGraph, MCondConfig, MCondReducer
+from repro.graph import Graph, load_dataset
+from repro.graph.datasets import InductiveSplit
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def path_graph() -> Graph:
+    """A 5-node path graph with 2-d features and 2 classes."""
+    edges = np.array([[0, 1], [1, 2], [2, 3], [3, 4]])
+    adj = sp.coo_matrix(
+        (np.ones(4), (edges[:, 0], edges[:, 1])), shape=(5, 5)).tocsr()
+    adj = adj.maximum(adj.T)
+    features = np.arange(10, dtype=np.float64).reshape(5, 2)
+    labels = np.array([0, 0, 0, 1, 1])
+    return Graph(adj, features, labels)
+
+
+@pytest.fixture(scope="session")
+def tiny_split() -> InductiveSplit:
+    """The tiny-sim dataset (300 nodes), shared across the session."""
+    return load_dataset("tiny-sim", seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_condensed(tiny_split) -> CondensedGraph:
+    """A small MCond condensation of tiny-sim (session-cached for speed)."""
+    config = MCondConfig(outer_loops=1, match_steps=3, mapping_steps=5,
+                        adjacency_pretrain_steps=30, seed=3)
+    return MCondReducer(config).reduce(tiny_split, 9)
+
+
+@pytest.fixture(scope="session")
+def tiny_mcond_result(tiny_split):
+    """MCond result object with histories (session-cached)."""
+    config = MCondConfig(outer_loops=1, match_steps=3, mapping_steps=5,
+                        adjacency_pretrain_steps=30, seed=4)
+    reducer = MCondReducer(config)
+    reducer.reduce(tiny_split, 9)
+    return reducer.last_result

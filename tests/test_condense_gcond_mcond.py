@@ -1,0 +1,192 @@
+"""GCond and MCond reducers: components and end-to-end behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import CondensationError
+from repro.condense import (
+    GCondConfig,
+    GCondReducer,
+    MCondConfig,
+    MCondReducer,
+    PairwiseAdjacency,
+    SgcRelay,
+    dense_normalize_tensor,
+)
+from repro.condense.gcond import pretrain_adjacency_model
+from repro.graph.ops import symmetric_normalize
+from repro.tensor import Tensor, grad, tensor_sum
+
+RNG = np.random.default_rng(6)
+
+
+class TestPairwiseAdjacency:
+    def test_output_symmetric_zero_diagonal(self):
+        model = PairwiseAdjacency(4, hidden=8, seed=0)
+        features = Tensor(RNG.standard_normal((6, 4)))
+        adjacency = model(features).data
+        assert np.allclose(adjacency, adjacency.T)
+        assert np.allclose(np.diag(adjacency), 0.0)
+
+    def test_output_in_unit_interval(self):
+        model = PairwiseAdjacency(4, hidden=8, seed=0)
+        adjacency = model(Tensor(RNG.standard_normal((5, 4)))).data
+        assert (adjacency >= 0).all() and (adjacency <= 1).all()
+
+    def test_differentiable_in_features(self):
+        model = PairwiseAdjacency(3, hidden=8, seed=0)
+        features = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        out = tensor_sum(model(features))
+        (g,) = grad(out, [features])
+        assert g.shape == features.shape
+
+    def test_pretraining_separates_classes(self):
+        model = PairwiseAdjacency(4, hidden=16, seed=0)
+        rng = np.random.default_rng(0)
+        classes = np.repeat([0, 1], 30)
+        feats = classes[:, None] * 4.0 + rng.standard_normal((60, 4)) * 0.3
+        pretrain_adjacency_model(model, feats, classes, steps=80, rng=rng)
+        adjacency = model(Tensor(feats[[0, 1, 30, 31]])).data
+        same = adjacency[0, 1]
+        cross = adjacency[0, 2]
+        assert same > cross
+
+    def test_pretrain_shape_validation(self):
+        model = PairwiseAdjacency(2, hidden=4, seed=0)
+        with pytest.raises(CondensationError):
+            pretrain_adjacency_model(model, np.ones((3, 2)), np.zeros(4))
+
+    def test_pretrain_zero_steps_noop(self):
+        model = PairwiseAdjacency(2, hidden=4, seed=0)
+        before = model.layer_in.weight.data.copy()
+        pretrain_adjacency_model(model, np.ones((3, 2)), np.zeros(3), steps=0)
+        assert np.allclose(before, model.layer_in.weight.data)
+
+
+class TestDenseNormalizeTensor:
+    def test_matches_numpy_normalization(self):
+        from repro.graph.ops import dense_symmetric_normalize
+        adjacency = np.abs(RNG.standard_normal((5, 5)))
+        adjacency = 0.5 * (adjacency + adjacency.T)
+        np.fill_diagonal(adjacency, 0.0)
+        ours = dense_normalize_tensor(Tensor(adjacency)).data
+        reference = dense_symmetric_normalize(adjacency, self_loops=True)
+        assert np.allclose(ours, reference, atol=1e-6)
+
+    def test_differentiable(self):
+        adjacency = Tensor(np.abs(RNG.standard_normal((4, 4))),
+                           requires_grad=True)
+        out = tensor_sum(dense_normalize_tensor(adjacency))
+        (g,) = grad(out, [adjacency])
+        assert g.shape == (4, 4)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(CondensationError):
+            dense_normalize_tensor(Tensor(np.ones((2, 3))))
+
+
+class TestSgcRelay:
+    def test_propagation_matches_embed_tensor(self, tiny_split):
+        graph = tiny_split.original
+        relay = SgcRelay(graph.feature_dim, tiny_split.num_classes, k_hops=2)
+        operator = symmetric_normalize(graph.adjacency)
+        const = relay.propagate_const(operator, graph.features)
+        dense_operator = Tensor(operator.toarray())
+        tensor_version = relay.embed_tensor(dense_operator,
+                                            Tensor(graph.features)).data
+        assert np.allclose(const, tensor_version, atol=1e-8)
+
+    def test_reinit_changes_parameters(self):
+        relay = SgcRelay(4, 3, seed=0)
+        before = relay.classifier.weight.data.copy()
+        relay.reinit(99)
+        assert not np.allclose(before, relay.classifier.weight.data)
+
+    def test_fit_steps_reduce_loss(self):
+        relay = SgcRelay(4, 2, seed=0)
+        embedding = np.vstack([RNG.standard_normal((20, 4)) + 3,
+                               RNG.standard_normal((20, 4)) - 3])
+        labels = np.repeat([0, 1], 20)
+        loss_before = relay.classifier_loss(Tensor(embedding), labels).item()
+        relay.fit_steps(embedding, labels, steps=50, lr=0.1)
+        loss_after = relay.classifier_loss(Tensor(embedding), labels).item()
+        assert loss_after < loss_before
+
+
+class TestGCondReducer:
+    def test_output_structure(self, tiny_split):
+        config = GCondConfig(outer_loops=1, match_steps=2,
+                             adjacency_pretrain_steps=20, seed=0)
+        condensed = GCondReducer(config).reduce(tiny_split, 9)
+        assert condensed.num_nodes == 9
+        assert condensed.method == "gcond"
+        assert condensed.mapping is None  # plain GC cannot attach
+
+    def test_labels_cover_classes_proportionally(self, tiny_split):
+        config = GCondConfig(outer_loops=1, match_steps=2,
+                             adjacency_pretrain_steps=10, seed=0)
+        condensed = GCondReducer(config).reduce(tiny_split, 9)
+        assert np.unique(condensed.labels).size == tiny_split.num_classes
+
+    def test_config_validation(self):
+        with pytest.raises(CondensationError):
+            GCondConfig(outer_loops=0)
+        with pytest.raises(CondensationError):
+            GCondConfig(k_hops=0)
+
+
+class TestMCondReducer:
+    def test_result_has_histories(self, tiny_mcond_result):
+        result = tiny_mcond_result
+        assert len(result.mapping_losses) > 0
+        assert len(result.transductive_losses) == len(result.mapping_losses)
+        assert len(result.inductive_losses) == len(result.mapping_losses)
+
+    def test_mapping_loss_decreases(self, tiny_split):
+        config = MCondConfig(outer_loops=1, match_steps=2, mapping_steps=25,
+                             adjacency_pretrain_steps=20, seed=0)
+        reducer = MCondReducer(config)
+        reducer.reduce(tiny_split, 9)
+        losses = reducer.last_result.mapping_losses
+        assert losses[-1] < losses[0]
+
+    def test_condensed_supports_attachment(self, tiny_condensed):
+        assert tiny_condensed.supports_attachment()
+        assert tiny_condensed.method == "mcond"
+
+    def test_mapping_shape(self, tiny_condensed, tiny_split):
+        assert tiny_condensed.mapping.shape == (
+            tiny_split.original.num_nodes, tiny_condensed.num_nodes)
+
+    def test_threshold_resweep_without_retraining(self, tiny_mcond_result):
+        loose = tiny_mcond_result.condensed_with_threshold(0.0)
+        tight = tiny_mcond_result.condensed_with_threshold(0.3)
+        assert tight.mapping.nnz <= loose.mapping.nnz
+
+    def test_ablation_flags_skip_losses(self, tiny_split):
+        config = MCondConfig(outer_loops=1, match_steps=2, mapping_steps=4,
+                             adjacency_pretrain_steps=10,
+                             use_inductive_loss=False, seed=0)
+        reducer = MCondReducer(config)
+        reducer.reduce(tiny_split, 9)
+        assert reducer.last_result.inductive_losses == []
+
+    def test_random_init_flag(self, tiny_split):
+        config = MCondConfig(outer_loops=1, match_steps=2, mapping_steps=4,
+                             adjacency_pretrain_steps=10,
+                             class_aware_init=False, seed=0)
+        reducer = MCondReducer(config)
+        condensed = reducer.reduce(tiny_split, 9)
+        assert condensed.supports_attachment()
+
+    def test_config_validation(self):
+        with pytest.raises(CondensationError):
+            MCondConfig(mapping_steps=0)
+        with pytest.raises(CondensationError):
+            MCondConfig(lambda_structure=-1.0)
+
+    def test_budget_checks(self, tiny_split):
+        with pytest.raises(CondensationError):
+            MCondReducer().reduce(tiny_split, 1)

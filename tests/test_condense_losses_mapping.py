@@ -1,0 +1,210 @@
+"""MCond's four loss terms and the mapping matrix (Eq. 5, 8, 10, 12, 14, 15)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CondensationError
+from repro.condense import (
+    MappingMatrix,
+    class_aware_logits,
+    class_block_mass,
+    gradient_matching_loss,
+    inductive_loss,
+    sparsify_matrix,
+    structure_loss,
+    transductive_loss,
+)
+from repro.graph.sampling import EdgeBatch
+from repro.tensor import Tensor, grad
+
+RNG = np.random.default_rng(5)
+
+
+class TestGradientMatchingLoss:
+    def test_zero_for_identical(self):
+        grads = [Tensor(RNG.standard_normal((3, 2)))]
+        assert gradient_matching_loss(grads, grads).item() == pytest.approx(
+            0.0, abs=1e-6)
+
+    def test_positive_for_different(self):
+        a = [Tensor(RNG.standard_normal((3, 2)))]
+        b = [Tensor(RNG.standard_normal((3, 2)))]
+        assert gradient_matching_loss(a, b).item() > 0
+
+    def test_original_side_detached(self):
+        a = Tensor(RNG.standard_normal((3, 2)), requires_grad=True)
+        b = Tensor(RNG.standard_normal((3, 2)), requires_grad=True)
+        loss = gradient_matching_loss([a], [b])
+        grads = grad(loss, [a, b], allow_unused=True)
+        assert grads[0] is None       # detached
+        assert grads[1] is not None   # synthetic side differentiable
+
+
+class TestStructureLoss:
+    def test_low_when_embeddings_predict_edges(self):
+        # Two clusters; edges only within clusters.
+        h = Tensor(np.array([[5.0, 0], [5.0, 0], [0, 5.0], [0, 5.0]]))
+        good = EdgeBatch(rows=np.array([0, 2]), cols=np.array([1, 3]),
+                         targets=np.array([1.0, 1.0]))
+        bad = EdgeBatch(rows=np.array([0, 1]), cols=np.array([2, 3]),
+                        targets=np.array([1.0, 1.0]))
+        assert structure_loss(h, good).item() < structure_loss(h, bad).item()
+
+    def test_empty_batch_rejected(self):
+        empty = EdgeBatch(rows=np.array([], dtype=int),
+                          cols=np.array([], dtype=int), targets=np.array([]))
+        with pytest.raises(CondensationError):
+            structure_loss(Tensor(np.ones((2, 2))), empty)
+
+    def test_differentiable_through_reconstruction(self):
+        mapping = Tensor(RNG.random((4, 2)), requires_grad=True)
+        h_syn = Tensor(RNG.standard_normal((2, 3)))
+        batch = EdgeBatch(rows=np.array([0, 1]), cols=np.array([2, 3]),
+                          targets=np.array([1.0, 0.0]))
+        loss = structure_loss(mapping @ h_syn, batch)
+        (g,) = grad(loss, [mapping])
+        assert g.shape == mapping.shape
+
+
+class TestTransductiveInductiveLosses:
+    def test_transductive_zero_for_exact_reconstruction(self):
+        h_syn = RNG.standard_normal((3, 4))
+        mapping = RNG.random((6, 3))
+        h = mapping @ h_syn
+        loss = transductive_loss(h, h_syn, Tensor(mapping))
+        assert loss.item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_transductive_scales_inverse_n(self):
+        h = RNG.standard_normal((10, 4))
+        h_syn = RNG.standard_normal((3, 4))
+        mapping = np.zeros((10, 3))
+        full = transductive_loss(h, h_syn, Tensor(mapping)).item()
+        manual = np.linalg.norm(h, axis=1).sum() / 10
+        assert full == pytest.approx(manual, rel=1e-5)
+
+    def test_transductive_shape_check(self):
+        with pytest.raises(CondensationError):
+            transductive_loss(np.ones((4, 2)), np.ones((3, 2)),
+                              Tensor(np.ones((5, 3))))
+
+    def test_transductive_differentiable_in_mapping_only(self):
+        h = Tensor(RNG.standard_normal((5, 3)), requires_grad=True)
+        h_syn = Tensor(RNG.standard_normal((2, 3)), requires_grad=True)
+        mapping = Tensor(RNG.random((5, 2)), requires_grad=True)
+        loss = transductive_loss(h, h_syn, mapping)
+        grads = grad(loss, [h, h_syn, mapping], allow_unused=True)
+        assert grads[0] is None and grads[1] is None
+        assert grads[2] is not None
+
+    def test_inductive_zero_for_identical(self):
+        h = RNG.standard_normal((4, 3))
+        assert inductive_loss(h, Tensor(h)).item() == pytest.approx(0.0, abs=1e-4)
+
+    def test_inductive_shape_check(self):
+        with pytest.raises(CondensationError):
+            inductive_loss(np.ones((3, 2)), Tensor(np.ones((4, 2))))
+
+
+class TestClassAwareInit:
+    def test_block_structure(self):
+        logits = class_aware_logits(np.array([0, 0, 1]), np.array([0, 1]),
+                                    noise=0.0)
+        assert logits[0, 0] > logits[0, 1]
+        assert logits[2, 1] > logits[2, 0]
+
+    def test_normalized_mass_concentrates_on_class(self):
+        original = np.repeat(np.arange(5), 20)
+        synthetic = np.repeat(np.arange(5), 3)
+        mapping = MappingMatrix.class_aware(original, synthetic, seed=0)
+        normalized = mapping.normalized_array()
+        mass = class_block_mass(normalized, original, synthetic, 5)
+        diag_share = np.diag(mass).sum() / mass.sum()
+        assert diag_share > 0.7
+
+    def test_many_classes_still_concentrated(self):
+        original = np.repeat(np.arange(40), 5)
+        synthetic = np.repeat(np.arange(40), 2)
+        mapping = MappingMatrix.class_aware(original, synthetic, seed=0)
+        normalized = mapping.normalized_array()
+        first_class_mass = normalized[0][synthetic == original[0]].sum()
+        assert first_class_mass / normalized[0].sum() > 0.85
+
+
+class TestMappingMatrix:
+    def make(self, n=8, k=3, seed=0):
+        return MappingMatrix.random(n, k, seed=seed)
+
+    def test_normalized_rows_near_one(self):
+        mapping = self.make()
+        rows = mapping.normalized_array().sum(axis=1)
+        assert np.all(rows <= 1.0 + 1e-9)
+        assert np.all(rows > 0.9)  # epsilon only trims a little
+
+    def test_normalized_nonnegative(self):
+        mapping = self.make()
+        assert (mapping.normalized_array() >= 0).all()
+
+    def test_normalized_tensor_matches_array(self):
+        mapping = self.make()
+        tensor_version = mapping.normalized().data
+        assert np.allclose(tensor_version, mapping.normalized_array())
+
+    def test_epsilon_suppresses_small_entries(self):
+        big_eps = MappingMatrix(np.zeros((2, 10)), epsilon=0.2)
+        assert big_eps.normalized_array().sum() == 0.0  # uniform 0.1 < 0.2
+
+    def test_normalized_differentiable(self):
+        mapping = self.make()
+        from repro.tensor import tensor_sum
+        out = tensor_sum(mapping.normalized())
+        (g,) = grad(out, [mapping.raw])
+        assert g.shape == mapping.raw.shape
+
+    def test_sparsify_threshold(self):
+        matrix = np.array([[0.5, 0.001], [0.2, 0.0]])
+        sparse = sparsify_matrix(matrix, 0.1)
+        assert sparse.nnz == 2
+
+    def test_sparsify_negative_threshold_rejected(self):
+        with pytest.raises(CondensationError):
+            sparsify_matrix(np.eye(2), -0.1)
+
+    def test_sparsity_monotone_in_delta(self):
+        mapping = self.make(n=20, k=5)
+        values = [mapping.sparsity(d) for d in (0.0, 0.05, 0.1, 0.3)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(CondensationError):
+            MappingMatrix(np.zeros(5))
+        with pytest.raises(CondensationError):
+            MappingMatrix(np.zeros((2, 2)), epsilon=-1.0)
+
+    def test_raw_is_trainable_parameter(self):
+        mapping = self.make()
+        assert mapping.raw.requires_grad
+        assert len(mapping.parameters()) == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(hnp.arrays(np.float64, (4, 3),
+                  elements=st.floats(-5, 5, allow_nan=False)))
+def test_normalization_row_bound_property(logits):
+    mapping = MappingMatrix(logits, epsilon=1e-5)
+    normalized = mapping.normalized_array()
+    assert (normalized >= 0).all()
+    assert (normalized.sum(axis=1) <= 1.0 + 1e-9).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.floats(min_value=0.0, max_value=0.5))
+def test_sparsify_never_increases_values(threshold):
+    matrix = np.abs(RNG.standard_normal((5, 5)))
+    sparse = sparsify_matrix(matrix, threshold).toarray()
+    assert (sparse <= matrix + 1e-12).all()
+    kept = sparse > 0
+    assert np.allclose(sparse[kept], matrix[kept])

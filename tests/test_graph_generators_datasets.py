@@ -1,0 +1,200 @@
+"""SBM generator and the dataset registry / inductive split protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DatasetError
+from repro.graph import (
+    DATASET_SPECS,
+    Graph,
+    SbmConfig,
+    dataset_names,
+    edge_homophily,
+    generate_sbm_graph,
+    load_dataset,
+    make_split,
+    smooth_features,
+)
+
+
+def small_config(**overrides):
+    base = dict(class_sizes=np.array([40, 40, 40]), feature_dim=8,
+                avg_degree=6.0, homophily=0.8, feature_noise=1.0,
+                center_scale=0.5, smoothing_rounds=0)
+    base.update(overrides)
+    return SbmConfig(**base)
+
+
+class TestSbmGenerator:
+    def test_node_and_class_counts(self):
+        graph = generate_sbm_graph(small_config(), seed=0)
+        assert graph.num_nodes == 120
+        assert graph.num_classes == 3
+        assert np.array_equal(np.sort(np.unique(graph.labels)), [0, 1, 2])
+
+    def test_deterministic_by_seed(self):
+        a = generate_sbm_graph(small_config(), seed=5)
+        b = generate_sbm_graph(small_config(), seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_sbm_graph(small_config(), seed=1)
+        b = generate_sbm_graph(small_config(), seed=2)
+        assert a != b
+
+    def test_homophily_ordering(self):
+        high = generate_sbm_graph(small_config(homophily=0.9), seed=0)
+        low = generate_sbm_graph(small_config(homophily=0.2), seed=0)
+        assert edge_homophily(high.adjacency, high.labels) > \
+            edge_homophily(low.adjacency, low.labels)
+
+    def test_no_self_loops_and_symmetric(self):
+        graph = generate_sbm_graph(small_config(), seed=3)
+        assert not graph.has_self_loops()
+        assert graph.is_symmetric()
+
+    def test_average_degree_close_to_target(self):
+        graph = generate_sbm_graph(small_config(avg_degree=8.0), seed=0)
+        measured = graph.num_edges / graph.num_nodes
+        assert 5.0 <= measured <= 8.5
+
+    def test_label_noise_flips_labels(self):
+        clean = generate_sbm_graph(small_config(label_noise=0.0), seed=9)
+        noisy = generate_sbm_graph(small_config(label_noise=0.3), seed=9)
+        flipped = (clean.labels != noisy.labels).mean()
+        assert 0.15 <= flipped <= 0.45
+
+    def test_degree_exponent_creates_skew(self):
+        flat = generate_sbm_graph(small_config(avg_degree=10), seed=0)
+        skewed = generate_sbm_graph(
+            small_config(avg_degree=10, degree_exponent=1.2), seed=0)
+        assert skewed.degrees().std() > flat.degrees().std()
+
+    def test_invalid_homophily_rejected(self):
+        with pytest.raises(DatasetError):
+            small_config(homophily=1.5)
+
+    def test_invalid_label_noise_rejected(self):
+        with pytest.raises(DatasetError):
+            small_config(label_noise=1.0)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(DatasetError):
+            SbmConfig(class_sizes=np.array([5, 0]), feature_dim=4, avg_degree=2.0)
+
+    def test_smoothing_pulls_neighbors_together(self):
+        graph = generate_sbm_graph(small_config(feature_noise=2.0), seed=0)
+        smoothed = smooth_features(graph.adjacency, graph.features, rounds=3)
+        adj = graph.adjacency.tocoo()
+        raw_gap = np.linalg.norm(
+            graph.features[adj.row] - graph.features[adj.col], axis=1).mean()
+        new_gap = np.linalg.norm(
+            smoothed[adj.row] - smoothed[adj.col], axis=1).mean()
+        assert new_gap < raw_gap
+
+    def test_smoothing_validates_arguments(self):
+        graph = generate_sbm_graph(small_config(), seed=0)
+        with pytest.raises(DatasetError):
+            smooth_features(graph.adjacency, graph.features, rounds=-1)
+        with pytest.raises(DatasetError):
+            smooth_features(graph.adjacency, graph.features, alpha=2.0)
+
+
+class TestRegistry:
+    def test_names_include_paper_analogues(self):
+        names = dataset_names()
+        for expected in ("pubmed-sim", "flickr-sim", "reddit-sim", "tiny-sim"):
+            assert expected in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("cora")
+
+    def test_spec_scaling(self):
+        spec = DATASET_SPECS["tiny-sim"].scaled(2.0)
+        assert spec.num_nodes == 600
+
+    def test_spec_scaling_invalid(self):
+        with pytest.raises(DatasetError):
+            DATASET_SPECS["tiny-sim"].scaled(0.0)
+
+    def test_scale_parameter_changes_size(self):
+        small = load_dataset("tiny-sim", seed=0, scale=0.5)
+        full = load_dataset("tiny-sim", seed=0)
+        assert small.full.num_nodes < full.full.num_nodes
+
+
+class TestInductiveSplit:
+    def test_partitions_are_disjoint(self, tiny_split):
+        combined = np.concatenate([tiny_split.train_idx, tiny_split.val_idx,
+                                   tiny_split.test_idx])
+        assert np.unique(combined).size == combined.size
+
+    def test_original_graph_only_train_nodes(self, tiny_split):
+        assert tiny_split.original.num_nodes == tiny_split.train_idx.size
+
+    def test_labeled_subset_of_train(self, tiny_split):
+        assert np.isin(tiny_split.labeled_idx, tiny_split.train_idx).all()
+
+    def test_labeled_positions_consistent(self, tiny_split):
+        rows = tiny_split.labeled_in_original
+        original = tiny_split.original
+        recovered = tiny_split.full.labels[tiny_split.labeled_idx]
+        assert np.array_equal(original.labels[rows], recovered)
+
+    def test_all_classes_labeled(self, tiny_split):
+        covered = np.unique(tiny_split.full.labels[tiny_split.labeled_idx])
+        assert covered.size == tiny_split.num_classes
+
+    def test_incremental_batch_shapes(self, tiny_split):
+        batch = tiny_split.incremental_batch("test")
+        n = tiny_split.test_idx.size
+        assert batch.features.shape == (n, tiny_split.original.feature_dim)
+        assert batch.incremental.shape == (n, tiny_split.original.num_nodes)
+        assert batch.intra.shape == (n, n)
+        assert batch.labels.shape == (n,)
+
+    def test_incremental_edges_match_full_graph(self, tiny_split):
+        batch = tiny_split.incremental_batch("val")
+        full = tiny_split.full
+        expected = full.adjacency[tiny_split.val_idx][:, tiny_split.train_idx]
+        assert (batch.incremental != expected).nnz == 0
+
+    def test_unknown_batch_rejected(self, tiny_split):
+        with pytest.raises(DatasetError):
+            tiny_split.incremental_batch("train")
+
+    def test_batch_subset(self, tiny_split):
+        batch = tiny_split.incremental_batch("test")
+        sub = batch.subset(np.array([0, 2]))
+        assert sub.num_nodes == 2
+        assert np.allclose(sub.features, batch.features[[0, 2]])
+        assert sub.intra.shape == (2, 2)
+
+    def test_overlapping_split_rejected(self, tiny_split):
+        from repro.graph.datasets import InductiveSplit
+        with pytest.raises(DatasetError):
+            InductiveSplit(tiny_split.full, np.array([0, 1]), np.array([1, 2]),
+                           np.array([3]))
+
+    def test_pubmed_sim_has_sparse_labels(self):
+        split = load_dataset("pubmed-sim", seed=1)
+        assert split.labeled_idx.size == 60
+        assert split.train_idx.size > 1000
+
+    def test_make_split_fraction_validation(self, tiny_split):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            make_split(tiny_split.full, 0.9, 0.2, 0.2, None, rng)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=1000))
+def test_split_deterministic_per_seed(seed):
+    a = load_dataset("tiny-sim", seed=seed, scale=0.4)
+    b = load_dataset("tiny-sim", seed=seed, scale=0.4)
+    assert np.array_equal(a.train_idx, b.train_idx)
+    assert np.array_equal(a.test_idx, b.test_idx)

@@ -1,0 +1,132 @@
+"""Eq. (3) / Eq. (11): attaching inductive nodes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import (
+    attach_to_original,
+    attach_to_synthetic,
+    convert_connections,
+)
+
+
+@pytest.fixture
+def base():
+    adjacency = sp.csr_matrix(np.array([
+        [0, 1, 0],
+        [1, 0, 1],
+        [0, 1, 0]], dtype=float))
+    features = np.arange(6, dtype=float).reshape(3, 2)
+    return adjacency, features
+
+
+class TestAttachOriginal:
+    def test_block_structure(self, base):
+        adjacency, features = base
+        inc = sp.csr_matrix(np.array([[1.0, 0.0, 0.0]]))
+        x_new = np.array([[9.0, 9.0]])
+        attached = attach_to_original(adjacency, features, inc, x_new)
+        assert attached.num_nodes == 4
+        assert attached.base_size == 3
+        dense = attached.adjacency.toarray()
+        assert dense[3, 0] == 1.0 and dense[0, 3] == 1.0
+        assert np.allclose(dense[:3, :3], adjacency.toarray())
+        assert np.allclose(attached.features[3], x_new[0])
+
+    def test_symmetry_preserved(self, base):
+        adjacency, features = base
+        inc = sp.csr_matrix(np.array([[0.0, 1.0, 1.0], [1.0, 0.0, 0.0]]))
+        attached = attach_to_original(adjacency, features, inc, np.zeros((2, 2)))
+        dense = attached.adjacency.toarray()
+        assert np.allclose(dense, dense.T)
+
+    def test_node_batch_zeroes_intra(self, base):
+        adjacency, features = base
+        inc = sp.csr_matrix(np.zeros((2, 3)))
+        attached = attach_to_original(adjacency, features, inc, np.zeros((2, 2)),
+                                      intra=None)
+        dense = attached.adjacency.toarray()
+        assert np.allclose(dense[3:, 3:], 0.0)
+
+    def test_graph_batch_keeps_intra(self, base):
+        adjacency, features = base
+        inc = sp.csr_matrix(np.zeros((2, 3)))
+        intra = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        attached = attach_to_original(adjacency, features, inc, np.zeros((2, 2)),
+                                      intra=intra)
+        assert attached.adjacency.toarray()[3, 4] == 1.0
+
+    def test_inductive_indices(self, base):
+        adjacency, features = base
+        inc = sp.csr_matrix(np.zeros((2, 3)))
+        attached = attach_to_original(adjacency, features, inc, np.zeros((2, 2)))
+        assert np.array_equal(attached.inductive_indices(), [3, 4])
+
+    def test_feature_dim_mismatch_rejected(self, base):
+        adjacency, features = base
+        inc = sp.csr_matrix(np.zeros((1, 3)))
+        with pytest.raises(GraphError):
+            attach_to_original(adjacency, features, inc, np.zeros((1, 5)))
+
+    def test_incremental_shape_mismatch_rejected(self, base):
+        adjacency, features = base
+        with pytest.raises(GraphError):
+            attach_to_original(adjacency, features,
+                               sp.csr_matrix(np.zeros((1, 7))), np.zeros((1, 2)))
+
+
+class TestConvertConnections:
+    def test_one_hot_mapping_selects_columns(self):
+        inc = sp.csr_matrix(np.array([[1.0, 1.0, 0.0]]))
+        mapping = sp.csr_matrix(np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]]))
+        converted = convert_connections(inc, mapping)
+        assert np.allclose(converted.toarray(), [[1.0, 1.0]])
+
+    def test_dense_mapping_supported(self):
+        inc = sp.csr_matrix(np.array([[1.0, 0.0]]))
+        mapping = np.array([[0.5, 0.5], [0.0, 1.0]])
+        converted = convert_connections(inc, mapping)
+        assert np.allclose(converted.toarray(), [[0.5, 0.5]])
+
+    def test_weights_combine_linearly(self):
+        inc = sp.csr_matrix(np.array([[2.0, 1.0]]))
+        mapping = np.array([[0.25, 0.0], [0.5, 0.5]])
+        converted = convert_connections(inc, mapping).toarray()
+        assert np.allclose(converted, [[2 * 0.25 + 1 * 0.5, 0.5]])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GraphError):
+            convert_connections(sp.csr_matrix(np.zeros((1, 3))),
+                                np.zeros((2, 2)))
+
+    def test_zero_rows_eliminated(self):
+        inc = sp.csr_matrix(np.array([[0.0, 0.0]]))
+        converted = convert_connections(inc, np.ones((2, 2)))
+        assert converted.nnz == 0
+
+
+class TestAttachSynthetic:
+    def test_full_equation_11(self):
+        synthetic_adjacency = np.array([[0.0, 0.8], [0.8, 0.0]])
+        synthetic_features = np.array([[1.0, 0.0], [0.0, 1.0]])
+        inc = sp.csr_matrix(np.array([[1.0, 0.0, 1.0]]))  # edges to orig 0, 2
+        mapping = np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 1.0]])
+        attached = attach_to_synthetic(synthetic_adjacency, synthetic_features,
+                                       inc, np.array([[0.5, 0.5]]), mapping)
+        dense = attached.adjacency.toarray()
+        assert attached.base_size == 2
+        # aM = [1, 1]: the inductive node connects to both synthetic nodes.
+        assert dense[2, 0] == 1.0 and dense[2, 1] == 1.0
+        assert np.allclose(dense[:2, :2], synthetic_adjacency)
+        assert np.allclose(dense, dense.T)
+
+    def test_sparse_mapping(self):
+        inc = sp.csr_matrix(np.array([[1.0, 0.0]]))
+        mapping = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        attached = attach_to_synthetic(np.zeros((2, 2)), np.zeros((2, 3)),
+                                       inc, np.zeros((1, 3)), mapping)
+        assert attached.adjacency.toarray()[2, 1] == 1.0

@@ -1,0 +1,68 @@
+"""NetworkX round-trip conversion."""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.interop import from_networkx, to_networkx
+
+
+class TestRoundTrip:
+    def test_graph_to_networkx_and_back(self, path_graph):
+        nx_graph = to_networkx(path_graph)
+        assert nx_graph.number_of_nodes() == path_graph.num_nodes
+        assert nx_graph.number_of_edges() == path_graph.num_undirected_edges
+        back = from_networkx(nx_graph)
+        assert back == path_graph
+
+    def test_labels_preserved(self, path_graph):
+        back = from_networkx(to_networkx(path_graph))
+        assert np.array_equal(back.labels, path_graph.labels)
+
+    def test_weights_preserved(self):
+        g = nx.Graph()
+        g.add_node(0, x=[1.0]); g.add_node(1, x=[2.0])
+        g.add_edge(0, 1, weight=2.5)
+        converted = from_networkx(g)
+        assert converted.adjacency[0, 1] == 2.5
+        assert converted.adjacency[1, 0] == 2.5
+
+    def test_unlabeled_graph(self):
+        g = nx.Graph()
+        g.add_node("a", x=[0.0, 1.0])
+        g.add_node("b", x=[1.0, 0.0])
+        g.add_edge("a", "b")
+        converted = from_networkx(g)
+        assert converted.labels is None
+        assert converted.num_nodes == 2
+
+    def test_arbitrary_node_names_reindexed(self):
+        g = nx.Graph()
+        g.add_node("x", x=[1.0], y=0)
+        g.add_node(99, x=[2.0], y=1)
+        g.add_edge("x", 99)
+        converted = from_networkx(g)
+        assert converted.num_nodes == 2
+        assert converted.adjacency[0, 1] == 1.0
+
+
+class TestValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            from_networkx(nx.Graph())
+
+    def test_missing_features_rejected(self):
+        g = nx.Graph()
+        g.add_node(0)
+        with pytest.raises(GraphError):
+            from_networkx(g)
+
+    def test_partial_labels_rejected(self):
+        g = nx.Graph()
+        g.add_node(0, x=[1.0], y=0)
+        g.add_node(1, x=[2.0])
+        with pytest.raises(GraphError):
+            from_networkx(g)

@@ -1,0 +1,72 @@
+"""Edge sampling for the structure loss and minibatch iteration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import adjacency_from_edges, iterate_minibatches, sample_edge_batch
+
+
+@pytest.fixture
+def adjacency():
+    edges = np.array([[i, (i + 1) % 20] for i in range(20)])
+    return adjacency_from_edges(edges, 20)
+
+
+class TestEdgeSampling:
+    def test_positive_samples_are_edges(self, adjacency, rng):
+        batch = sample_edge_batch(adjacency, 16, rng)
+        positives = batch.targets == 1.0
+        values = np.asarray(
+            adjacency[batch.rows[positives], batch.cols[positives]]).reshape(-1)
+        assert np.all(values > 0)
+
+    def test_counts_respect_negative_ratio(self, adjacency, rng):
+        batch = sample_edge_batch(adjacency, 10, rng, negative_ratio=2.0)
+        assert (batch.targets == 1.0).sum() == 10
+        assert (batch.targets == 0.0).sum() == 20
+        assert len(batch) == 30
+
+    def test_oversampling_with_replacement(self, adjacency, rng):
+        batch = sample_edge_batch(adjacency, 1000, rng)
+        assert (batch.targets == 1.0).sum() == 1000
+
+    def test_empty_graph_rejected(self, rng):
+        with pytest.raises(GraphError):
+            sample_edge_batch(sp.csr_matrix((4, 4)), 4, rng)
+
+    def test_nonpositive_batch_rejected(self, adjacency, rng):
+        with pytest.raises(GraphError):
+            sample_edge_batch(adjacency, 0, rng)
+
+    def test_negatives_mostly_non_edges(self, adjacency, rng):
+        batch = sample_edge_batch(adjacency, 200, rng)
+        negatives = batch.targets == 0.0
+        values = np.asarray(
+            adjacency[batch.rows[negatives], batch.cols[negatives]]).reshape(-1)
+        assert (values > 0).mean() < 0.2  # single rejection round, sparse graph
+
+
+class TestMinibatches:
+    def test_covers_all_indices(self):
+        chunks = list(iterate_minibatches(10, 3))
+        combined = np.concatenate(chunks)
+        assert np.array_equal(np.sort(combined), np.arange(10))
+        assert [len(c) for c in chunks] == [3, 3, 3, 1]
+
+    def test_single_batch(self):
+        chunks = list(iterate_minibatches(5, 100))
+        assert len(chunks) == 1 and len(chunks[0]) == 5
+
+    def test_shuffle_permutes(self):
+        rng = np.random.default_rng(0)
+        chunks = list(iterate_minibatches(50, 50, rng=rng, shuffle=True))
+        assert not np.array_equal(chunks[0], np.arange(50))
+        assert np.array_equal(np.sort(chunks[0]), np.arange(50))
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(GraphError):
+            list(iterate_minibatches(5, 0))

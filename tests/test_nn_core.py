@@ -1,0 +1,245 @@
+"""Module system, layers, initializers, optimizers, metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import (
+    Adam,
+    APPNPPropagate,
+    ChebConv,
+    GCNConv,
+    Linear,
+    MLPBlock,
+    Module,
+    Parameter,
+    SAGEConv,
+    SGD,
+    accuracy,
+    confusion_matrix,
+    glorot_uniform,
+    macro_f1,
+    predictions_from_logits,
+    propagate,
+)
+from repro.tensor import Tensor, tensor_sum, to_csr
+
+RNG = np.random.default_rng(4)
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.ones((2, 2)))
+                self.child = Linear(2, 3, RNG)
+
+        net = Net()
+        names = [name for name, _ in net.named_parameters()]
+        assert "weight" in names
+        assert "child.weight" in names and "child.bias" in names
+        assert len(net.parameters()) == 3
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 2, RNG)
+        state = layer.state_dict()
+        layer.weight.data[...] = 0.0
+        layer.load_state_dict(state)
+        assert np.allclose(layer.weight.data, state["weight"])
+
+    def test_state_dict_missing_key_rejected(self):
+        layer = Linear(2, 2, RNG)
+        with pytest.raises(ShapeError):
+            layer.load_state_dict({"weight": np.zeros((2, 2))})
+
+    def test_state_dict_shape_mismatch_rejected(self):
+        layer = Linear(2, 2, RNG)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((3, 3))
+        with pytest.raises(ShapeError):
+            layer.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        block = MLPBlock([2, 4, 2], RNG)
+        block.eval()
+        assert all(not m.training for m in block.modules())
+        block.train()
+        assert all(m.training for m in block.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, RNG)
+        out = tensor_sum(layer(Tensor(np.ones((1, 2)))))
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4, RNG)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+
+class TestInit:
+    def test_glorot_bounds(self):
+        w = glorot_uniform((100, 100), RNG)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit
+
+    def test_glorot_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            glorot_uniform((5,), RNG)
+
+
+class TestLayers:
+    def test_propagate_dispatch_sparse_dense_equal(self):
+        dense = RNG.random((4, 4))
+        h = Tensor(RNG.standard_normal((4, 3)))
+        from_sparse = propagate(to_csr(dense), h).data
+        from_tensor = propagate(Tensor(dense), h).data
+        from_array = propagate(dense, h).data
+        assert np.allclose(from_sparse, from_tensor)
+        assert np.allclose(from_sparse, from_array)
+
+    def test_linear_shapes(self):
+        layer = Linear(3, 5, RNG)
+        out = layer(Tensor(np.ones((2, 3))))
+        assert out.shape == (2, 5)
+
+    def test_linear_invalid_dims(self):
+        with pytest.raises(ShapeError):
+            Linear(0, 2, RNG)
+
+    def test_gcn_conv(self):
+        conv = GCNConv(3, 4, RNG)
+        out = conv(Tensor(np.eye(5)), Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 4)
+
+    def test_sage_conv_uses_self_and_neighbors(self):
+        conv = SAGEConv(2, 3, RNG)
+        op = Tensor(np.zeros((4, 4)))  # no neighbors: output = W_self x only
+        x = Tensor(RNG.standard_normal((4, 2)))
+        out = conv(op, x)
+        assert out.shape == (4, 3)
+
+    def test_cheby_order_one_is_linear(self):
+        conv = ChebConv(2, 2, 1, RNG)
+        x = Tensor(RNG.standard_normal((3, 2)))
+        out_zero_op = conv(Tensor(np.zeros((3, 3))), x)
+        out_eye_op = conv(Tensor(np.eye(3)), x)
+        assert np.allclose(out_zero_op.data, out_eye_op.data)
+
+    def test_cheby_invalid_order(self):
+        with pytest.raises(ShapeError):
+            ChebConv(2, 2, 0, RNG)
+
+    def test_appnp_alpha_one_limit_validation(self):
+        with pytest.raises(ShapeError):
+            APPNPPropagate(3, 1.0)
+        with pytest.raises(ShapeError):
+            APPNPPropagate(0, 0.5)
+
+    def test_appnp_zero_operator_returns_alpha_scaled(self):
+        prop = APPNPPropagate(5, 0.2)
+        x = Tensor(np.ones((3, 2)))
+        out = prop(Tensor(np.zeros((3, 3))), x)
+        assert np.allclose(out.data, 0.2)
+
+    def test_mlp_block_depth(self):
+        block = MLPBlock([4, 8, 8, 2], RNG)
+        assert block(Tensor(np.ones((3, 4)))).shape == (3, 2)
+        with pytest.raises(ShapeError):
+            MLPBlock([4], RNG)
+
+
+class TestOptimizers:
+    @staticmethod
+    def quadratic_target(optimizer_factory, steps=200):
+        param = Parameter(np.array([5.0, -3.0]))
+        optimizer = optimizer_factory([param])
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = tensor_sum((param - Tensor([1.0, 2.0])) ** 2)
+            loss.backward()
+            optimizer.step()
+        return param.data
+
+    def test_sgd_converges(self):
+        final = self.quadratic_target(lambda p: SGD(p, lr=0.1))
+        assert np.allclose(final, [1.0, 2.0], atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        final = self.quadratic_target(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        assert np.allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_adam_converges(self):
+        final = self.quadratic_target(lambda p: Adam(p, lr=0.3))
+        assert np.allclose(final, [1.0, 2.0], atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        plain = self.quadratic_target(lambda p: Adam(p, lr=0.3))
+        decayed = self.quadratic_target(
+            lambda p: Adam(p, lr=0.3, weight_decay=1.0))
+        assert np.linalg.norm(decayed) < np.linalg.norm(plain)
+
+    def test_skip_params_without_grad(self):
+        a, b = Parameter(np.ones(2)), Parameter(np.ones(2))
+        optimizer = SGD([a, b], lr=0.5)
+        tensor_sum(a * a).backward()
+        optimizer.step()
+        assert np.allclose(b.data, 1.0)
+        assert not np.allclose(a.data, 1.0)
+
+    def test_apply_grads(self):
+        param = Parameter(np.zeros(2))
+        optimizer = SGD([param], lr=1.0)
+        optimizer.apply_grads([Tensor(np.array([1.0, 2.0]))])
+        optimizer.step()
+        assert np.allclose(param.data, [-1.0, -2.0])
+
+    def test_apply_grads_length_mismatch(self):
+        optimizer = SGD([Parameter(np.zeros(2))], lr=1.0)
+        with pytest.raises(ConfigError):
+            optimizer.apply_grads([])
+
+    def test_invalid_hyperparameters(self):
+        p = [Parameter(np.zeros(1))]
+        with pytest.raises(ConfigError):
+            SGD(p, lr=-1.0)
+        with pytest.raises(ConfigError):
+            SGD(p, lr=0.1, momentum=1.5)
+        with pytest.raises(ConfigError):
+            Adam(p, betas=(1.2, 0.9))
+        with pytest.raises(ConfigError):
+            Adam([], lr=0.1)
+
+
+class TestMetrics:
+    def test_accuracy_from_logits(self):
+        logits = np.array([[2.0, 1.0], [0.0, 3.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_accuracy_from_predictions(self):
+        assert accuracy(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_accuracy_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.empty((0,)), np.empty((0,)))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([0, 0, 1]), 2)
+        assert np.array_equal(matrix, [[1, 1], [0, 1]])
+
+    def test_macro_f1_perfect(self):
+        preds = np.array([0, 1, 2])
+        assert macro_f1(preds, preds) == 1.0
+
+    def test_macro_f1_handles_absent_class(self):
+        score = macro_f1(np.array([0, 0]), np.array([0, 0]), num_classes=3)
+        assert score == 1.0
+
+    def test_predictions_require_2d(self):
+        with pytest.raises(ShapeError):
+            predictions_from_logits(np.ones(3))

@@ -1,0 +1,165 @@
+"""GNN models and the training loop."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import symmetric_normalize
+from repro.nn import (
+    MODEL_REGISTRY,
+    TrainConfig,
+    evaluate_accuracy,
+    evaluate_logits,
+    make_model,
+    train_node_classifier,
+)
+from repro.tensor import Tensor
+
+ALL_MODELS = sorted(MODEL_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def operator(tiny_split_module):
+    return symmetric_normalize(tiny_split_module.original.adjacency)
+
+
+@pytest.fixture(scope="module")
+def tiny_split_module():
+    from repro.graph import load_dataset
+    return load_dataset("tiny-sim", seed=11, scale=0.5)
+
+
+class TestModelForward:
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_forward_shapes(self, name, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model(name, graph.feature_dim,
+                           tiny_split_module.num_classes, seed=0, **(
+                               {} if name == "sgc" else {"hidden": 8}))
+        logits = model(operator, Tensor(graph.features))
+        assert logits.shape == (graph.num_nodes, tiny_split_module.num_classes)
+
+    @pytest.mark.parametrize("name", ALL_MODELS)
+    def test_embed_row_count(self, name, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model(name, graph.feature_dim,
+                           tiny_split_module.num_classes, seed=0, **(
+                               {} if name == "sgc" else {"hidden": 8}))
+        embedding = model.embed(operator, Tensor(graph.features))
+        assert embedding.shape[0] == graph.num_nodes
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            make_model("transformer", 4, 2)
+
+    def test_sgc_embed_is_propagation(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim,
+                           tiny_split_module.num_classes, k_hops=2)
+        embedding = model.embed(operator, Tensor(graph.features)).data
+        expected = operator @ (operator @ graph.features)
+        assert np.allclose(embedding, expected)
+
+    def test_mlp_ignores_operator(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("mlp", graph.feature_dim,
+                           tiny_split_module.num_classes, hidden=8)
+        model.eval()
+        with_op = model(operator, Tensor(graph.features)).data
+        without = model(np.zeros((graph.num_nodes, graph.num_nodes)),
+                        Tensor(graph.features)).data
+        assert np.allclose(with_op, without)
+
+    def test_dropout_active_only_in_training(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("gcn", graph.feature_dim,
+                           tiny_split_module.num_classes, hidden=8,
+                           dropout_rate=0.5)
+        model.eval()
+        a = model(operator, Tensor(graph.features)).data
+        b = model(operator, Tensor(graph.features)).data
+        assert np.allclose(a, b)
+        model.train()
+        c = model(operator, Tensor(graph.features)).data
+        d = model(operator, Tensor(graph.features)).data
+        assert not np.allclose(c, d)
+
+    def test_invalid_dropout_rejected(self):
+        with pytest.raises(ConfigError):
+            make_model("gcn", 4, 2, dropout_rate=1.0)
+
+    def test_gcn_needs_two_layers(self):
+        with pytest.raises(ConfigError):
+            make_model("gcn", 4, 2, num_layers=1)
+
+
+class TestTrainer:
+    def test_training_reduces_loss(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim,
+                           tiny_split_module.num_classes, seed=0)
+        result = train_node_classifier(
+            model, operator, graph.features, graph.labels,
+            tiny_split_module.labeled_in_original,
+            config=TrainConfig(epochs=30, patience=30))
+        assert result.losses[-1] < result.losses[0]
+
+    def test_validator_drives_best_restore(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim,
+                           tiny_split_module.num_classes, seed=0)
+        scores = iter([0.9, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1])
+        snapshots = []
+
+        def validator(m):
+            snapshots.append(m.state_dict())
+            return next(scores)
+
+        result = train_node_classifier(
+            model, operator, graph.features, graph.labels,
+            tiny_split_module.labeled_in_original, validator=validator,
+            config=TrainConfig(epochs=10, patience=3, eval_every=1))
+        assert result.best_epoch == 0
+        assert result.epochs_run == 4  # stopped after patience exhausted
+        # Weights restored to the best (first) snapshot.
+        for name, value in model.state_dict().items():
+            assert np.allclose(value, snapshots[0][name])
+
+    def test_empty_train_idx_rejected(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim, tiny_split_module.num_classes)
+        with pytest.raises(ConfigError):
+            train_node_classifier(model, operator, graph.features,
+                                  graph.labels, np.array([], dtype=int))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ConfigError):
+            TrainConfig(patience=0)
+
+    def test_training_beats_chance(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim,
+                           tiny_split_module.num_classes, seed=0)
+        train_node_classifier(model, operator, graph.features, graph.labels,
+                              tiny_split_module.labeled_in_original,
+                              config=TrainConfig(epochs=60, patience=60, lr=0.05))
+        acc = evaluate_accuracy(model, operator, graph.features, graph.labels)
+        assert acc > 0.6
+
+    def test_evaluate_logits_shape(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim, tiny_split_module.num_classes)
+        logits = evaluate_logits(model, operator, graph.features)
+        assert logits.shape == (graph.num_nodes, tiny_split_module.num_classes)
+
+    def test_evaluate_accuracy_subset(self, tiny_split_module, operator):
+        graph = tiny_split_module.original
+        model = make_model("sgc", graph.feature_dim, tiny_split_module.num_classes)
+        subset = np.arange(10)
+        value = evaluate_accuracy(model, operator, graph.features,
+                                  graph.labels, subset)
+        assert 0.0 <= value <= 1.0

@@ -1,0 +1,215 @@
+"""Autograd graph mechanics: grad API, accumulation, higher-order, modes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AutogradError, ShapeError
+from repro.tensor import (
+    Tensor,
+    add,
+    enable_grad,
+    grad,
+    gradgradcheck,
+    is_grad_enabled,
+    matmul,
+    mul,
+    no_grad,
+    power,
+    relu,
+    sigmoid,
+    tensor_sum,
+)
+
+RNG = np.random.default_rng(1)
+
+
+class TestGradApi:
+    def test_grad_simple_chain(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = mul(x, x)
+        (gx,) = grad(y, [x], grad_outputs=[np.ones(1)])
+        assert gx.data == pytest.approx([4.0])
+
+    def test_grad_scalar_output_implicit_seed(self):
+        x = Tensor(3.0, requires_grad=True)
+        (gx,) = grad(mul(x, x), [x])
+        assert gx.item() == pytest.approx(6.0)
+
+    def test_nonscalar_output_requires_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(AutogradError):
+            grad(mul(x, x), [x])
+
+    def test_seed_shape_mismatch_rejected(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(ShapeError):
+            grad(mul(x, x), [x], grad_outputs=[np.ones(4)])
+
+    def test_unreachable_input_raises(self):
+        x = Tensor(1.0, requires_grad=True)
+        z = Tensor(1.0, requires_grad=True)
+        with pytest.raises(AutogradError):
+            grad(mul(x, x), [z])
+
+    def test_allow_unused_returns_none(self):
+        x = Tensor(1.0, requires_grad=True)
+        z = Tensor(1.0, requires_grad=True)
+        out = grad(mul(x, x), [z], allow_unused=True)
+        assert out == [None]
+
+    def test_grad_accumulates_over_shared_input(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = add(mul(x, x), mul(x, x))  # 2x^2 -> dy/dx = 4x
+        (gx,) = grad(y, [x])
+        assert gx.item() == pytest.approx(8.0)
+
+    def test_grad_multiple_outputs(self):
+        x = Tensor(2.0, requires_grad=True)
+        y1 = mul(x, x)
+        y2 = mul(x, Tensor(3.0))
+        (gx,) = grad([y1, y2], [x])
+        assert gx.item() == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_grad_of_intermediate_node(self):
+        x = Tensor(2.0, requires_grad=True)
+        h = mul(x, x)
+        y = mul(h, h)  # x^4
+        (gh,) = grad(y, [h])
+        assert gh.item() == pytest.approx(2 * 4.0)  # 2h at h=4
+
+    def test_empty_outputs_rejected(self):
+        with pytest.raises(AutogradError):
+            grad([], [Tensor(1.0, requires_grad=True)])
+
+
+class TestBackwardMethod:
+    def test_backward_populates_leaf_grads(self):
+        x = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        tensor_sum(mul(x, x)).backward()
+        assert np.allclose(x.grad.data, [2.0, 4.0])
+
+    def test_backward_accumulates(self):
+        x = Tensor(2.0, requires_grad=True)
+        mul(x, x).backward()
+        mul(x, x).backward()
+        assert x.grad.item() == pytest.approx(8.0)
+
+    def test_zero_grad_clears(self):
+        x = Tensor(2.0, requires_grad=True)
+        mul(x, x).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+
+class TestGradModes:
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = mul(x, x)
+        assert not y.requires_grad
+
+    def test_enable_grad_nested(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            with enable_grad():
+                y = mul(x, x)
+        assert y.requires_grad
+
+    def test_mode_restored_after_exception(self):
+        try:
+            with no_grad():
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = mul(x, x).detach()
+        assert not y.requires_grad
+        with pytest.raises(AutogradError):
+            grad(mul(y, y), [x])
+
+
+class TestHigherOrder:
+    def test_second_derivative_of_cube(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = power(x, 3.0)
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(g1, [x])
+        assert g2.item() == pytest.approx(12.0)  # 6x at x=2
+
+    def test_second_derivative_matmul_chain(self):
+        x = Tensor(RNG.standard_normal((3, 3)), requires_grad=True)
+        w = Tensor(RNG.standard_normal((3, 3)))
+        y = tensor_sum(mul(matmul(x, w), matmul(x, w)))
+        (g1,) = grad(y, [x], create_graph=True)
+        (g2,) = grad(tensor_sum(g1), [x])
+        # y = sum((XW)^2): d2y/dX2 applied to ones is constant in X.
+        expected = 2 * np.ones((3, 3)) @ w.data.T * (np.ones((3, 3)) @ w.data.T)
+        # The Hessian-vector structure: grad(sum(g1)) = 2 * ones@(W W^T)^T... just
+        # verify numerically instead of analytically:
+        eps = 1e-5
+        num = np.zeros_like(x.data)
+        for i in range(3):
+            for j in range(3):
+                x.data[i, j] += eps
+                (gp,) = grad(tensor_sum(mul(matmul(x, w), matmul(x, w))), [x],
+                             grad_outputs=None)
+                hi = gp.data.sum()
+                x.data[i, j] -= 2 * eps
+                (gm,) = grad(tensor_sum(mul(matmul(x, w), matmul(x, w))), [x])
+                lo = gm.data.sum()
+                x.data[i, j] += eps
+                num[i, j] = (hi - lo) / (2 * eps)
+        assert np.allclose(g2.data, num, atol=1e-4)
+
+    def test_gradgradcheck_sigmoid_relu_mix(self):
+        x = Tensor(RNG.standard_normal((3, 4)) + 0.3, requires_grad=True)
+        gradgradcheck(lambda t: tensor_sum(mul(sigmoid(t), relu(t))), [x])
+
+    def test_create_graph_false_grads_detached(self):
+        x = Tensor(2.0, requires_grad=True)
+        (g1,) = grad(power(x, 3.0), [x], create_graph=False)
+        assert not g1.requires_grad
+
+
+class TestTensorBasics:
+    def test_item_on_nonscalar_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.ones(3)).item()
+
+    def test_repr_mentions_shape(self):
+        assert "shape=(2, 3)" in repr(Tensor(np.ones((2, 3))))
+
+    def test_operator_overloads(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = ((x + 1.0) * 3.0 - 2.0) / 2.0
+        assert y.data == pytest.approx([3.5])
+        (gx,) = grad(tensor_sum(y), [x])
+        assert gx.data == pytest.approx([1.5])
+
+    def test_radd_rsub_rmul_rtruediv(self):
+        x = Tensor([2.0])
+        assert (1.0 + x).data == pytest.approx([3.0])
+        assert (1.0 - x).data == pytest.approx([-1.0])
+        assert (3.0 * x).data == pytest.approx([6.0])
+        assert (4.0 / x).data == pytest.approx([2.0])
+
+    def test_matmul_operator(self):
+        a = Tensor(np.eye(2))
+        b = Tensor([[1.0, 2.0], [3.0, 4.0]])
+        assert np.allclose((a @ b).data, b.data)
+
+    def test_power_operator(self):
+        x = Tensor([3.0])
+        assert (x ** 2).data == pytest.approx([9.0])
+
+    def test_copy_independent(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.copy()
+        y.data[0] = 5.0
+        assert x.data[0] == 1.0
+        assert y.requires_grad

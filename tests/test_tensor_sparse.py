@@ -1,0 +1,89 @@
+"""Sparse-constant matmul support and memory accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.tensor import (
+    Tensor,
+    dense_memory_bytes,
+    grad,
+    gradcheck,
+    mul,
+    sparse_memory_bytes,
+    spmm,
+    tensor_sum,
+    to_csr,
+)
+
+RNG = np.random.default_rng(3)
+
+
+class TestToCsr:
+    def test_from_dense(self):
+        dense = np.array([[1.0, 0.0], [0.0, 2.0]])
+        csr = to_csr(dense)
+        assert sp.issparse(csr)
+        assert csr.nnz == 2
+
+    def test_from_coo(self):
+        coo = sp.coo_matrix(np.eye(3))
+        assert to_csr(coo).format == "csr"
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            to_csr(np.ones(3))
+
+
+class TestSpmm:
+    def test_matches_dense_product(self):
+        matrix = sp.random(6, 5, density=0.4, random_state=0, format="csr")
+        dense = RNG.standard_normal((5, 3))
+        out = spmm(matrix, Tensor(dense))
+        assert np.allclose(out.data, matrix.toarray() @ dense)
+
+    def test_gradcheck(self):
+        matrix = to_csr(RNG.random((5, 4)) * (RNG.random((5, 4)) > 0.5))
+        h = Tensor(RNG.standard_normal((4, 3)), requires_grad=True)
+        gradcheck(lambda h: tensor_sum(mul(spmm(matrix, h), spmm(matrix, h))), [h])
+
+    def test_double_backward(self):
+        matrix = to_csr(np.array([[1.0, 2.0], [0.0, 3.0]]))
+        h = Tensor(RNG.standard_normal((2, 2)), requires_grad=True)
+        y = tensor_sum(mul(spmm(matrix, h), spmm(matrix, h)))
+        (g1,) = grad(y, [h], create_graph=True)
+        (g2,) = grad(tensor_sum(g1), [h])
+        dense = matrix.toarray()
+        expected = 2 * dense.T @ dense @ np.ones((2, 2))
+        assert np.allclose(g2.data, expected)
+
+    def test_vector_operand(self):
+        matrix = to_csr(np.eye(3))
+        v = Tensor(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(spmm(matrix, v).data, v.data)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ShapeError):
+            spmm(to_csr(np.eye(3)), Tensor(np.ones((4, 2))))
+
+    def test_dense_first_operand_rejected(self):
+        with pytest.raises(ShapeError):
+            spmm(np.eye(3), Tensor(np.ones((3, 2))))
+
+
+class TestMemoryAccounting:
+    def test_sparse_bytes_grow_with_nnz(self):
+        small = sp.identity(10, format="csr")
+        large = sp.csr_matrix(np.ones((10, 10)))
+        assert sparse_memory_bytes(large) > sparse_memory_bytes(small)
+
+    def test_dense_bytes(self):
+        assert dense_memory_bytes(np.zeros((4, 4))) == 4 * 4 * 8
+
+    def test_sparse_bytes_counts_all_arrays(self):
+        matrix = sp.identity(5, format="csr")
+        expected = matrix.data.nbytes + matrix.indices.nbytes + matrix.indptr.nbytes
+        assert sparse_memory_bytes(matrix) == expected

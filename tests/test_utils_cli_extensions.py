@@ -1,0 +1,158 @@
+"""Utilities, the CLI, DosCond, and the Correct&Smooth extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.condense import DosCondConfig, DosCondReducer
+from repro.errors import ConfigError
+from repro.graph import adjacency_from_edges, attach_to_original
+from repro.propagation import correct_and_smooth, smooth_predictions
+from repro.utils import Stopwatch, format_seconds, seed_everything, spawn_rngs
+
+
+class TestSeeding:
+    def test_seed_everything_returns_generator(self):
+        rng = seed_everything(42)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_seed_everything_reproducible(self):
+        a = seed_everything(7).random(4)
+        b = seed_everything(7).random(4)
+        assert np.allclose(a, b)
+
+    def test_seed_everything_type_check(self):
+        with pytest.raises(ConfigError):
+            seed_everything("seed")
+
+    def test_spawn_rngs_independent(self):
+        rngs = spawn_rngs(0, 3)
+        assert len(rngs) == 3
+        draws = [rng.random(8) for rng in rngs]
+        assert not np.allclose(draws[0], draws[1])
+        assert not np.allclose(draws[1], draws[2])
+
+    def test_spawn_rngs_count_validation(self):
+        with pytest.raises(ConfigError):
+            spawn_rngs(0, 0)
+
+
+class TestTimers:
+    def test_stopwatch_measures(self):
+        with Stopwatch() as watch:
+            sum(range(10000))
+        assert watch.elapsed > 0.0
+
+    def test_format_seconds_ranges(self):
+        assert format_seconds(5e-5).endswith("us")
+        assert format_seconds(0.005).endswith("ms")
+        assert format_seconds(2.5) == "2.5s"
+        assert format_seconds(125.0) == "2m05.0s"
+
+    def test_format_seconds_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestCli:
+    def test_parser_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--dataset", "tiny-sim"])
+        assert args.experiment == "table2"
+        assert args.dataset == "tiny-sim"
+
+    def test_unknown_experiment_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table9"])
+
+    def test_unknown_dataset_exits_cleanly(self, capsys):
+        code = main(["table2", "--dataset", "does-not-exist"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_table5_runs_on_tiny(self, capsys, monkeypatch):
+        # Patch the quick profile to something near-instant for the test.
+        import repro.cli as cli
+        from repro.experiments import EffortProfile
+        monkeypatch.setattr(cli, "QUICK", EffortProfile(
+            name="cli-test", train_epochs=5, train_patience=5, train_lr=0.05,
+            outer_loops=1, match_steps=1, mapping_steps=2, relay_steps=1,
+            seeds=(0,), inference_repeats=1))
+        code = main(["table5", "--dataset", "tiny-sim", "--budget", "9"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table V" in out
+        assert "full" in out
+
+
+class TestDosCond:
+    def test_reduces_and_labels_cover_classes(self, tiny_split):
+        config = DosCondConfig(outer_loops=1, match_steps=3,
+                               adjacency_pretrain_steps=10, seed=0)
+        condensed = DosCondReducer(config).reduce(tiny_split, 9)
+        assert condensed.num_nodes == 9
+        assert condensed.method == "doscond"
+        assert np.unique(condensed.labels).size == tiny_split.num_classes
+
+    def test_relay_steps_forced_zero(self):
+        config = DosCondConfig(relay_steps=5)
+        assert config.relay_steps == 0
+
+    def test_no_mapping_like_gcond(self, tiny_split):
+        config = DosCondConfig(outer_loops=1, match_steps=2,
+                               adjacency_pretrain_steps=10, seed=0)
+        condensed = DosCondReducer(config).reduce(tiny_split, 9)
+        assert not condensed.supports_attachment()
+
+
+class TestSmooth:
+    @staticmethod
+    def attached_cliques():
+        edges = []
+        for offset in (0, 4):
+            for i in range(4):
+                for j in range(i + 1, 4):
+                    edges.append([offset + i, offset + j])
+        adjacency = adjacency_from_edges(np.array(edges), 8)
+        import scipy.sparse as sp
+        inc = sp.csr_matrix((np.ones(2), ([0, 1], [0, 4])), shape=(2, 8))
+        return attach_to_original(adjacency, np.zeros((8, 2)), inc,
+                                  np.zeros((2, 2)))
+
+    def test_smoothing_pulls_to_neighborhood(self):
+        attached = self.attached_cliques()
+        base_labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        # Both inductive nodes start uncertain; smoothing should commit them
+        # to their attached clique's class.
+        scores = np.full((2, 2), 0.5)
+        smoothed = smooth_predictions(attached, base_labels, scores, 2,
+                                      alpha=0.9, iterations=30)
+        assert smoothed[0].argmax() == 0
+        assert smoothed[1].argmax() == 1
+
+    def test_correct_and_smooth_pipeline(self):
+        attached = self.attached_cliques()
+        base_labels = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        base_logits = np.zeros((8, 2))
+        base_logits[np.arange(8), base_labels] = 3.0
+        inductive_logits = np.zeros((2, 2))
+        out = correct_and_smooth(attached, base_labels, base_logits,
+                                 inductive_logits, 2)
+        assert out.shape == (2, 2)
+        assert out[0].argmax() == 0 and out[1].argmax() == 1
+
+    def test_validation(self):
+        attached = self.attached_cliques()
+        from repro.errors import InferenceError
+        with pytest.raises(InferenceError):
+            smooth_predictions(attached, np.zeros(3, dtype=int),
+                               np.zeros((2, 2)), 2)
+        with pytest.raises(InferenceError):
+            smooth_predictions(attached, np.zeros(8, dtype=int),
+                               np.zeros((3, 2)), 2)
+        with pytest.raises(InferenceError):
+            smooth_predictions(attached, np.zeros(8, dtype=int),
+                               np.zeros((2, 2)), 2, alpha=1.5)
