@@ -1,30 +1,28 @@
-"""Architecture generalizability: one condensed graph, many GNNs.
+"""Architecture generalizability: one condensed graph, every registered GNN.
 
 A key property of graph condensation (paper Table IV): the synthetic graph
-and mapping matrix are model-agnostic — the same condensed artifact trains
-GCN, GraphSAGE, APPNP and Cheby, and every one of them can serve inductive
-nodes directly on the synthetic graph.
+and mapping matrix are model-agnostic.  This example condenses once with
+MCond, then sweeps **every architecture in the model registry** — adding a
+new ``@register_model`` class makes it part of this sweep automatically —
+training each on the synthetic graph and serving inductive nodes both on
+the original graph (S→O) and on the synthetic graph (S→S).
 
 Run:  python examples/cross_architecture.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.condense import MCondConfig, MCondReducer
+from repro import api
 from repro.graph import load_dataset
 from repro.inference import InductiveServer
-from repro.nn import TrainConfig, make_model, train_node_classifier
-
-ARCHITECTURES = ("sgc", "gcn", "graphsage", "appnp", "cheby")
+from repro.registry import MODELS
 
 
 def main() -> None:
     split = load_dataset("flickr-sim", seed=0)
     print(f"dataset: {split!r}")
-    config = MCondConfig(outer_loops=2, match_steps=8, mapping_steps=20, seed=0)
-    condensed = MCondReducer(config).reduce(split, budget=70)
+    condensed = api.condense("flickr-sim", method="mcond", budget=70,
+                             seed=0, profile="quick")
     print(f"condensed once: {condensed!r}\n")
 
     test = split.incremental_batch("test")
@@ -32,18 +30,13 @@ def main() -> None:
               f"{'SO ms':>8} {'SS ms':>8}")
     print(header)
     print("-" * len(header))
-    for arch in ARCHITECTURES:
-        kwargs = {} if arch == "sgc" else {"hidden": 64}
-        model = make_model(arch, split.original.feature_dim,
-                           split.num_classes, seed=0, **kwargs)
-        train_node_classifier(model, condensed.normalized_adjacency(),
-                              condensed.features, condensed.labels,
-                              np.arange(condensed.num_nodes),
-                              config=TrainConfig(epochs=80, patience=80))
+    for arch in MODELS.keys():
+        bundle = api.deploy("flickr-sim", condensed=condensed, model=arch,
+                            seed=0, profile="quick")
+        model = bundle.model()
         on_original = InductiveServer(model, "original", split.original).run(
             test, batch_mode="graph")
-        on_synthetic = InductiveServer(model, "synthetic", split.original,
-                                       condensed).run(test, batch_mode="graph")
+        on_synthetic = api.serve(bundle, test, batch_mode="graph")
         print(f"{arch:<13} {on_original.accuracy:>11.3f} "
               f"{on_synthetic.accuracy:>11.3f} "
               f"{on_original.mean_batch_milliseconds:>8.2f} "

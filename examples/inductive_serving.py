@@ -2,55 +2,30 @@
 
 The scenario from the paper's introduction: a high-throughput social
 system must classify newly arriving posts (inductive nodes) with low
-latency.  We condense the training graph once offline, then serve
-streaming batches on the synthetic graph — comparing per-batch latency,
-memory and accuracy against serving on the full original graph, for both
-the node-batch (isolated posts) and graph-batch (connected posts)
-regimes.
+latency.  The offline phase (``api.deploy``) condenses the training graph
+and packages a serving bundle once; the online phase (``api.serve``)
+classifies streaming batches on the synthetic graph — compared against a
+full-graph bundle, for both the node-batch (isolated posts) and
+graph-batch (connected posts) regimes.
 
 Run:  python examples/inductive_serving.py
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.condense import MCondConfig, MCondReducer
-from repro.graph import load_dataset, symmetric_normalize
-from repro.inference import InductiveServer, deployment_storage_bytes
-from repro.nn import TrainConfig, make_model, train_node_classifier
-
-
-def train_models(split):
-    """One model per deployment: full-graph and synthetic-graph."""
-    original = split.original
-    config = MCondConfig(outer_loops=2, match_steps=8, mapping_steps=20, seed=0)
-    condensed = MCondReducer(config).reduce(split, budget=164)
-
-    whole = make_model("sgc", original.feature_dim, split.num_classes, seed=0)
-    train_node_classifier(whole, symmetric_normalize(original.adjacency),
-                          original.features, original.labels,
-                          split.labeled_in_original,
-                          config=TrainConfig(epochs=60, patience=60))
-
-    compact = make_model("sgc", original.feature_dim, split.num_classes, seed=0)
-    train_node_classifier(compact, condensed.normalized_adjacency(),
-                          condensed.features, condensed.labels,
-                          np.arange(condensed.num_nodes),
-                          config=TrainConfig(epochs=60, patience=60))
-    return condensed, whole, compact
+from repro import api
+from repro.graph import load_dataset
 
 
 def main() -> None:
     split = load_dataset("reddit-sim", seed=0)
     print(f"dataset: {split!r}")
     print("condensing the training graph offline (one-time cost)...")
-    condensed, whole, compact = train_models(split)
-    print(f"  -> {condensed!r}")
+    compact = api.deploy("reddit-sim", method="mcond", budget=164,
+                         seed=0, profile="quick")
+    whole = api.deploy("reddit-sim", method="whole", seed=0, profile="quick")
+    print(f"  -> {compact!r}")
 
-    original_server = InductiveServer(whole, "original", split.original)
-    synthetic_server = InductiveServer(compact, "synthetic", split.original,
-                                       condensed)
     stream = split.incremental_batch("test")
     print(f"serving {stream.num_nodes} unseen posts in batches of 1000\n")
 
@@ -59,16 +34,15 @@ def main() -> None:
     print(header)
     print("-" * len(header))
     for batch_mode in ("node", "graph"):
-        for name, server in (("original", original_server),
-                             ("synthetic", synthetic_server)):
-            report = server.run(stream, batch_size=1000, batch_mode=batch_mode)
+        for name, bundle in (("original", whole), ("synthetic", compact)):
+            report = api.serve(bundle, stream, batch_size=1000,
+                               batch_mode=batch_mode)
             print(f"{name:<10} {batch_mode:<11} {report.accuracy:>9.3f} "
                   f"{report.mean_batch_milliseconds:>9.2f} "
                   f"{report.memory_megabytes:>9.3f}")
 
-    original_bytes = deployment_storage_bytes("original", split.original)
-    synthetic_bytes = deployment_storage_bytes("synthetic", split.original,
-                                               condensed)
+    original_bytes = whole.storage_bytes()
+    synthetic_bytes = compact.storage_bytes()
     print()
     print(f"resident deployment storage: original {original_bytes/2**20:.2f} MB"
           f" vs synthetic {synthetic_bytes/2**20:.2f} MB "

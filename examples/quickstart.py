@@ -1,63 +1,55 @@
-"""Quickstart: condense a graph with MCond and serve unseen nodes on it.
+"""Quickstart: the three-call facade — condense, deploy, serve.
 
-Runs the full pipeline on the pubmed-like simulator in under a minute:
+Runs the paper's full offline/online split on the pubmed-like simulator
+in under a minute:
 
-1. load an inductive dataset (original graph = training nodes only);
-2. condense it with MCond (synthetic graph + mapping matrix);
-3. train an SGC classifier on the synthetic graph;
-4. serve the unseen test nodes on the synthetic graph via Eq. (11)
-   and compare against full-graph serving.
+1. ``api.condense``  — reduce the training graph to 60 synthetic nodes
+   with MCond (synthetic graph + original→synthetic mapping matrix);
+2. ``api.deploy``    — train the serving model on the synthetic graph and
+   package a persistable :class:`~repro.api.DeploymentBundle`;
+3. ``api.serve``     — attach the unseen test nodes to the synthetic
+   graph via Eq. (11) and classify them, from a reloaded artifact, and
+   compare against the full-graph baseline.
+
+Every component is resolved by registry name ("pubmed-sim", "mcond",
+"sgc") — see ``repro list`` for what is available.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-import numpy as np
+import tempfile
+from pathlib import Path
 
-from repro.condense import MCondConfig, MCondReducer
-from repro.graph import load_dataset, symmetric_normalize
-from repro.inference import deployment_storage_bytes, run_inference
-from repro.nn import TrainConfig, make_model, train_node_classifier
+from repro import api
 
 
 def main() -> None:
-    # 1. Data: the original graph contains only training nodes.
-    split = load_dataset("pubmed-sim", seed=0)
-    original = split.original
-    print(f"dataset: {split!r}")
-    print(f"original graph: {original!r}")
-
-    # 2. Condense to 60 synthetic nodes (~3% of the original graph) and
-    #    learn the original->synthetic node mapping.
-    config = MCondConfig(outer_loops=3, match_steps=10, mapping_steps=30,
-                         seed=0)
-    reducer = MCondReducer(config)
-    condensed = reducer.reduce(split, budget=60)
+    # 1. Offline: condense the training graph once.
+    condensed = api.condense("pubmed-sim", method="mcond", budget=60,
+                             seed=0, profile="quick")
     print(f"condensed graph: {condensed!r}")
 
-    # 3. Train a classifier ON the synthetic graph (S->S deployment).
-    model = make_model("sgc", original.feature_dim, split.num_classes, seed=0)
-    train_node_classifier(
-        model, condensed.normalized_adjacency(), condensed.features,
-        condensed.labels, np.arange(condensed.num_nodes),
-        config=TrainConfig(epochs=100, patience=100))
+    # 2. Offline: train the deployment model on the synthetic graph and
+    #    package graph + weights + metadata into one artifact.
+    bundle = api.deploy("pubmed-sim", condensed=condensed, model="sgc",
+                        seed=0, profile="quick")
+    artifact = Path(tempfile.mkdtemp()) / "pubmed-mcond.npz"
+    bundle.save(artifact)
+    print(f"deployment bundle: {bundle!r}")
+    print(f"saved to {artifact}")
 
-    # 4. Serve the unseen test nodes on the synthetic graph...
-    test_batch = split.incremental_batch("test")
-    synthetic_report = run_inference(model, "synthetic", original, test_batch,
-                                     condensed=condensed, batch_mode="graph")
-    # ...and, for comparison, a full-graph model on the original graph.
-    whole = make_model("sgc", original.feature_dim, split.num_classes, seed=0)
-    train_node_classifier(whole, symmetric_normalize(original.adjacency),
-                          original.features, original.labels,
-                          split.labeled_in_original,
-                          config=TrainConfig(epochs=100, patience=100))
-    original_report = run_inference(whole, "original", original, test_batch,
-                                    batch_mode="graph")
+    # 3. Online: a fresh process would start here — load and serve.
+    reloaded = api.DeploymentBundle.load(artifact)
+    synthetic_report = api.serve(reloaded, batch_mode="graph")
 
-    synthetic_bytes = deployment_storage_bytes("synthetic", original, condensed)
-    original_bytes = deployment_storage_bytes("original", original)
+    # Baseline: the same flow without condensation (serve the full graph).
+    whole = api.deploy("pubmed-sim", method="whole", seed=0, profile="quick")
+    original_report = api.serve(whole, batch_mode="graph")
+
+    synthetic_bytes = reloaded.storage_bytes()
+    original_bytes = whole.storage_bytes()
     print()
     print(f"{'deployment':<12} {'accuracy':>9} {'ms/batch':>9} {'storage':>12}")
     print(f"{'original':<12} {original_report.accuracy:>9.3f} "

@@ -1,7 +1,17 @@
 """MCond: mapping-aware graph condensation for inductive node representation learning.
 
 A full reproduction of Gao et al., *Graph Condensation for Inductive Node
-Representation Learning* (ICDE 2024), built from scratch on numpy/scipy:
+Representation Learning* (ICDE 2024), built from scratch on numpy/scipy.
+
+**Start at :mod:`repro.api`** — the one-call facade over the whole
+pipeline (``condense`` → ``deploy`` → ``serve``) and the persistable
+:class:`~repro.api.DeploymentBundle` artifact.  Components resolve through
+the string-keyed plugin registries in :mod:`repro.registry`
+(``REDUCERS``, ``MODELS``, ``DATASETS``); registering a new method, GNN
+backbone, or dataset makes it available to the facade, the experiment
+harnesses, and the ``repro`` CLI at once.
+
+Layers underneath the facade:
 
 - :mod:`repro.tensor` — reverse-mode autodiff with higher-order gradients.
 - :mod:`repro.graph` — graph containers, synthetic dataset simulators,
@@ -14,10 +24,24 @@ Representation Learning* (ICDE 2024), built from scratch on numpy/scipy:
 - :mod:`repro.propagation` — label propagation and error propagation
   calibration.
 - :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+The ``repro`` command (``python -m repro``) exposes the same flow as
+subcommands: ``repro condense``, ``repro serve``, ``repro eval``,
+``repro list``, plus the paper's ``table*``/``fig*`` reports.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro import errors
 
-__all__ = ["errors", "__version__"]
+__all__ = ["errors", "api", "registry", "__version__"]
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` light while making `repro.api` and
+    # `repro.registry` available without an explicit submodule import.
+    if name in ("api", "registry"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,17 +1,21 @@
-"""Command-line interface: regenerate any paper table or figure.
+"""Subcommand CLI over the :mod:`repro.api` facade.
 
-Examples
---------
-::
+The pipeline commands mirror the paper's offline/online split::
 
-    python -m repro table2 --dataset pubmed-sim
-    python -m repro fig3   --dataset reddit-sim
-    python -m repro table5 --dataset flickr-sim --budget 70
-    python -m repro fig6   --dataset pubmed-sim --effort full
+    repro condense --dataset pubmed-sim --method mcond --budget 30 \\
+                   --output artifact.npz     # offline: condense + train
+    repro serve    --artifact artifact.npz --batch-mode node
+    repro eval     --dataset pubmed-sim --method mcond_ss --budget 30
+    repro list                                # registry contents
 
-Results print as aligned text tables (the same harnesses the benchmark
-suite runs); heavy artifacts (condensation, training) are computed once
-per invocation.
+The paper's tables and figures remain available as thin wrappers over the
+same machinery::
+
+    repro table2 --dataset pubmed-sim
+    repro fig6   --dataset pubmed-sim --effort full
+
+Unknown dataset/method/model names exit with status 2 and list the
+registered alternatives.
 """
 
 from __future__ import annotations
@@ -19,11 +23,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro import api
+from repro.errors import DatasetError, ReproError
 from repro.experiments import (
     FULL,
     QUICK,
     ExperimentContext,
+    METHODS,
     dataset_budgets,
     format_table,
     prepare_dataset,
@@ -36,41 +42,196 @@ from repro.experiments import (
     run_table4,
     run_table5,
 )
+from repro.registry import DATASETS, MODELS, REDUCERS
 
 _EXPERIMENTS = ("table2", "table3", "table4", "table5",
                 "fig3", "fig4", "fig5", "fig6", "fig7")
 
 
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="pubmed-sim",
+                        help="dataset registry key (default: pubmed-sim)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="dataset/condensation seed (default: 0)")
+    parser.add_argument("--effort", choices=("quick", "full"), default="quick",
+                        help="compute profile (default: quick)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Regenerate tables/figures of the MCond paper (ICDE 2024)")
-    parser.add_argument("experiment", choices=_EXPERIMENTS,
-                        help="which table/figure to regenerate")
-    parser.add_argument("--dataset", default="pubmed-sim",
-                        help="dataset simulator name (default: pubmed-sim)")
-    parser.add_argument("--budget", type=int, default=None,
-                        help="synthetic node budget (default: the dataset's "
-                             "registered budgets)")
-    parser.add_argument("--effort", choices=("quick", "full"), default="quick",
-                        help="compute profile (default: quick)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="dataset seed (default: 0)")
+        description="Condense graphs offline, serve inductive nodes online, "
+                    "and regenerate the MCond paper's tables/figures "
+                    "(ICDE 2024)")
+    sub = parser.add_subparsers(dest="command", metavar="command",
+                                required=True)
+
+    condense = sub.add_parser(
+        "condense",
+        help="offline phase: condense a dataset, train the deployment "
+             "model, optionally save a servable bundle")
+    _add_common(condense)
+    condense.add_argument("--method", default="mcond",
+                          help="reduction method registry key, or 'whole' "
+                               "for the full-graph baseline (default: mcond)")
+    condense.add_argument("--budget", type=int, default=None,
+                          help="synthetic node budget (default: the "
+                               "dataset's largest registered budget)")
+    condense.add_argument("--model", default="sgc",
+                          help="model architecture registry key (default: sgc)")
+    condense.add_argument("--output", "--artifact", dest="output", default=None,
+                          help="write the deployment bundle to this .npz path")
+
+    serve = sub.add_parser(
+        "serve",
+        help="online phase: serve the evaluation batch from a saved bundle")
+    serve.add_argument("--artifact", required=True,
+                       help="deployment bundle produced by "
+                            "'repro condense --output'")
+    serve.add_argument("--batch-mode", choices=("graph", "node"),
+                       default="graph",
+                       help="inductive nodes arrive connected (graph) or "
+                            "isolated (node); default: graph")
+    serve.add_argument("--batch-size", type=int, default=1000,
+                       help="serving mini-batch size (default: 1000)")
+
+    evaluate = sub.add_parser(
+        "eval",
+        help="run one Table-II method end to end in memory and report "
+             "accuracy/latency/memory")
+    _add_common(evaluate)
+    evaluate.add_argument("--method", default="mcond_ss",
+                          help="Table-II method key, e.g. whole, random, "
+                               "mcond_ss (default: mcond_ss)")
+    evaluate.add_argument("--budget", type=int, default=None,
+                          help="synthetic node budget (default: the "
+                               "dataset's largest registered budget)")
+    evaluate.add_argument("--model", default="sgc",
+                          help="model architecture registry key (default: sgc)")
+    evaluate.add_argument("--batch-mode", choices=("graph", "node"),
+                          default="graph")
+
+    listing = sub.add_parser(
+        "list", help="enumerate registered methods, models, datasets, and "
+                     "experiments")
+    listing.set_defaults(handler=_cmd_list)
+
+    condense.set_defaults(handler=_cmd_condense)
+    serve.set_defaults(handler=_cmd_serve)
+    evaluate.set_defaults(handler=_cmd_eval)
+
+    for name in _EXPERIMENTS:
+        experiment = sub.add_parser(
+            name, help=f"regenerate the paper's {name}")
+        _add_common(experiment)
+        experiment.add_argument("--budget", type=int, default=None,
+                                help="synthetic node budget (default: the "
+                                     "dataset's registered budgets)")
+        experiment.set_defaults(handler=_cmd_experiment, experiment=name)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    profile = FULL if args.effort == "full" else QUICK
     try:
-        context = ExperimentContext(
-            prepare_dataset(args.dataset, seed=args.seed), profile)
-        budgets = (dataset_budgets(args.dataset) if args.budget is None
-                   else (args.budget,))
-        rows, title = _dispatch(args.experiment, context, budgets)
+        return args.handler(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _profile(args):
+    return FULL if args.effort == "full" else QUICK
+
+
+def _default_budget(args) -> int:
+    if args.dataset not in DATASETS:
+        raise DatasetError(
+            f"unknown dataset {args.dataset!r}; "
+            f"available: {', '.join(DATASETS.keys())}")
+    return args.budget if args.budget is not None else dataset_budgets(args.dataset)[-1]
+
+
+# ----------------------------------------------------------------------
+# Pipeline commands
+# ----------------------------------------------------------------------
+def _cmd_condense(args) -> int:
+    method = None if args.method == "whole" else args.method
+    bundle = api.deploy(args.dataset, method,
+                        _default_budget(args) if method else 0,
+                        model=args.model, seed=args.seed,
+                        profile=_profile(args))
+    print(bundle)
+    if bundle.condensed is not None:
+        print(f"condensed: {bundle.condensed!r}")
+    print(f"deployment storage: {bundle.storage_bytes() / 1024:.1f} KB")
+    if args.output:
+        path = bundle.save(args.output)
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    bundle = api.DeploymentBundle.load(args.artifact)
+    print(bundle)
+    report = api.serve(bundle, batch_mode=args.batch_mode,
+                       batch_size=args.batch_size)
+    _print_report(report)
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    budget = _default_budget(args)
+    context = ExperimentContext(
+        prepare_dataset(args.dataset, seed=args.seed), _profile(args))
+    report = context.run_method(args.method, budget,
+                                batch_mode=args.batch_mode,
+                                model_name=args.model, seed=args.seed)
+    print(f"{args.method} on {args.dataset} "
+          f"(budget={budget}, model={args.model})")
+    _print_report(report)
+    return 0
+
+
+def _print_report(report) -> None:
+    print(f"  deployment        {report.deployment}")
+    print(f"  batch mode        {report.batch_mode}")
+    print(f"  accuracy          {report.accuracy:.4f}")
+    print(f"  nodes served      {report.num_nodes} "
+          f"({report.num_batches} batches)")
+    print(f"  latency           {report.mean_batch_milliseconds:.2f} ms/batch")
+    print(f"  serving memory    {report.memory_megabytes:.3f} MB")
+
+
+def _cmd_list(args) -> int:
+    print("reduction methods (repro condense --method):")
+    for name, entry in REDUCERS.items():
+        print(f"  {name:<10} {entry.description}")
+    print("\nmodel architectures (--model):")
+    print(f"  {', '.join(MODELS.keys())}")
+    print("\ndatasets (--dataset):")
+    print(f"  {', '.join(DATASETS.keys())}")
+    print("\ntable-II method columns (repro eval --method):")
+    for name, spec in METHODS.items():
+        print(f"  {name:<10} {spec.setting}")
+    print("\nexperiments (repro <name>):")
+    print(f"  {', '.join(_EXPERIMENTS)}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Paper table/figure wrappers
+# ----------------------------------------------------------------------
+def _cmd_experiment(args) -> int:
+    context = ExperimentContext(
+        prepare_dataset(args.dataset, seed=args.seed), _profile(args))
+    budgets = (dataset_budgets(args.dataset) if args.budget is None
+               else (args.budget,))
+    rows, title = _dispatch(args.experiment, context, budgets)
     if isinstance(rows, dict):
         print(title)
         for key, value in rows.items():

@@ -1,4 +1,10 @@
-"""Graph reduction methods: coresets, VNG, GCond, and MCond."""
+"""Graph reduction methods: coresets, VNG, GCond, DosCond, and MCond.
+
+Importing this package registers every method in
+:data:`repro.registry.REDUCERS`; prefer resolving reducers by name
+through :func:`repro.registry.make_reducer` or the :mod:`repro.api`
+facade over instantiating the classes directly.
+"""
 
 from repro.condense.base import (
     CondensedGraph,

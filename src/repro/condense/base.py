@@ -16,14 +16,19 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import CondensationError
+from repro.errors import ArtifactError, CondensationError
 from repro.graph.datasets import InductiveSplit
 from repro.graph.graph import Graph
 from repro.graph.ops import dense_symmetric_normalize
 from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
+from repro.utils.artifacts import normalize_npz_path
 
 __all__ = ["CondensedGraph", "GraphReducer", "allocate_class_counts",
-           "selection_mapping"]
+           "selection_mapping", "FORMAT_VERSION", "check_format_version"]
+
+#: Version stamped into every persisted artifact.  Readers accept any
+#: version up to the current one (version-1 files predate the stamp).
+FORMAT_VERSION = 2
 
 
 @dataclass
@@ -122,38 +127,82 @@ class CondensedGraph:
     # ------------------------------------------------------------------
     # Serialization: condense offline once, serve online many times.
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> None:
-        """Persist the condensed artifact (graph + mapping) as ``.npz``."""
+    def to_payload(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Flatten into ``np.savez``-ready arrays, keys prefixed by ``prefix``.
+
+        Shared by :meth:`save` and :class:`repro.api.DeploymentBundle`, which
+        embeds a condensed graph inside a larger archive.
+        """
         payload: dict[str, np.ndarray] = {
-            "adjacency": self.adjacency,
-            "features": self.features,
-            "labels": self.labels,
-            "method": np.asarray(self.method),
+            f"{prefix}adjacency": self.adjacency,
+            f"{prefix}features": self.features,
+            f"{prefix}labels": self.labels,
+            f"{prefix}method": np.asarray(self.method),
         }
         if self.mapping is not None:
             coo = self.mapping.tocoo()
-            payload["mapping_row"] = coo.row
-            payload["mapping_col"] = coo.col
-            payload["mapping_data"] = coo.data
-            payload["mapping_shape"] = np.asarray(coo.shape)
-        np.savez_compressed(Path(path), **payload)
+            payload[f"{prefix}mapping_row"] = coo.row
+            payload[f"{prefix}mapping_col"] = coo.col
+            payload[f"{prefix}mapping_data"] = coo.data
+            payload[f"{prefix}mapping_shape"] = np.asarray(coo.shape)
+        return payload
+
+    @classmethod
+    def from_payload(cls, archive, prefix: str = "") -> "CondensedGraph":
+        """Rebuild from arrays produced by :meth:`to_payload`.
+
+        ``archive`` is anything indexable by key with a ``.files`` (or
+        ``.keys()``) listing — an open ``NpzFile`` or a plain dict.
+        """
+        keys = set(archive.files if hasattr(archive, "files") else archive.keys())
+        required = {f"{prefix}adjacency", f"{prefix}features", f"{prefix}labels"}
+        if not required <= keys:
+            raise ArtifactError(
+                f"archive is missing condensed-graph arrays {sorted(required - keys)}")
+        mapping = None
+        if f"{prefix}mapping_row" in keys:
+            shape = tuple(int(v) for v in archive[f"{prefix}mapping_shape"])
+            mapping = sp.coo_matrix(
+                (archive[f"{prefix}mapping_data"],
+                 (archive[f"{prefix}mapping_row"], archive[f"{prefix}mapping_col"])),
+                shape=shape).tocsr()
+        return cls(adjacency=archive[f"{prefix}adjacency"],
+                   features=archive[f"{prefix}features"],
+                   labels=archive[f"{prefix}labels"],
+                   mapping=mapping,
+                   method=str(archive[f"{prefix}method"]))
+
+    def save(self, path: str | Path) -> None:
+        """Persist the condensed artifact (graph + mapping) as ``.npz``.
+
+        The path is normalized to the ``.npz`` suffix ``np.savez`` would
+        produce, so ``save(p)`` / ``load(p)`` round-trip for any ``p``.
+        """
+        payload = self.to_payload()
+        payload["format_version"] = np.asarray(FORMAT_VERSION)
+        np.savez_compressed(normalize_npz_path(path), **payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "CondensedGraph":
         """Load an artifact previously stored with :meth:`save`."""
-        with np.load(Path(path)) as archive:
-            mapping = None
-            if "mapping_row" in archive.files:
-                shape = tuple(int(v) for v in archive["mapping_shape"])
-                mapping = sp.coo_matrix(
-                    (archive["mapping_data"],
-                     (archive["mapping_row"], archive["mapping_col"])),
-                    shape=shape).tocsr()
-            return cls(adjacency=archive["adjacency"],
-                       features=archive["features"],
-                       labels=archive["labels"],
-                       mapping=mapping,
-                       method=str(archive["method"]))
+        target = normalize_npz_path(path)
+        if not target.exists():
+            raise ArtifactError(f"no condensed artifact at {target}")
+        with np.load(target) as archive:
+            check_format_version(archive, target)
+            return cls.from_payload(archive)
+
+
+def check_format_version(archive, path) -> int:
+    """Validate an archive's ``format_version`` stamp (missing => 1)."""
+    version = 1
+    if "format_version" in archive.files:
+        version = int(archive["format_version"])
+    if version > FORMAT_VERSION:
+        raise ArtifactError(
+            f"{path} uses artifact format v{version}, but this build reads "
+            f"at most v{FORMAT_VERSION}; upgrade the library to load it")
+    return version
 
 
 class GraphReducer:

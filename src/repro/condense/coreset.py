@@ -26,6 +26,7 @@ from repro.condense.base import (
 from repro.graph.datasets import InductiveSplit
 from repro.graph.graph import Graph
 from repro.graph.ops import symmetric_normalize
+from repro.registry import register_reducer
 
 __all__ = ["CoresetReducer", "RandomCoreset", "DegreeCoreset", "HerdingCoreset",
            "KCenterCoreset", "sgc_embeddings", "make_coreset"]
@@ -160,6 +161,16 @@ _CORESETS: dict[str, type[CoresetReducer]] = {
     "herding": HerdingCoreset,
     "kcenter": KCenterCoreset,
 }
+
+_CORESET_DESCRIPTIONS = {
+    "random": "class-balanced random node selection",
+    "degree": "highest-degree nodes per class",
+    "herding": "Welling herding in the SGC latent space",
+    "kcenter": "greedy k-center in the SGC latent space",
+}
+
+for _name, _cls in _CORESETS.items():
+    register_reducer(_name, description=_CORESET_DESCRIPTIONS[_name])(_cls)
 
 
 def make_coreset(name: str, seed: int = 0) -> CoresetReducer:

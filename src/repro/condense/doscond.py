@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.condense.gcond import GCondConfig, GCondReducer
+from repro.registry import register_reducer
 
 __all__ = ["DosCondConfig", "DosCondReducer"]
 
@@ -58,3 +59,12 @@ class DosCondReducer(GCondReducer):
                     labels_syn) -> None:
         """DosCond performs no inner relay training."""
         return None
+
+
+@register_reducer("doscond",
+                  profile_params=("outer_loops", "match_steps"),
+                  description="one-step gradient matching (no relay "
+                              "trajectory; fast, no inductive mapping)")
+def _doscond_factory(seed: int = 0, **cfg) -> DosCondReducer:
+    """Registry factory: build a :class:`DosCondReducer` from flat kwargs."""
+    return DosCondReducer(DosCondConfig(seed=seed, **cfg))

@@ -27,6 +27,7 @@ from repro.graph.ops import symmetric_normalize
 from repro.nn.layers import Linear
 from repro.nn.module import Module, Parameter
 from repro.nn.optim import Adam
+from repro.registry import register_reducer
 from repro.tensor.functional import binary_cross_entropy_with_logits, cross_entropy
 from repro.tensor.tensor import (
     Tensor,
@@ -386,3 +387,12 @@ class GCondReducer(GraphReducer):
             adjacency = adjacency_model(Tensor(synthetic_features.data))
         sparse = sparsify_matrix(adjacency.data, self.config.adjacency_threshold)
         return sparse.toarray()
+
+
+@register_reducer("gcond",
+                  profile_params=("outer_loops", "match_steps", "relay_steps"),
+                  description="gradient-matching condensation "
+                              "(no inductive mapping)")
+def _gcond_factory(seed: int = 0, **cfg) -> GCondReducer:
+    """Registry factory: build a :class:`GCondReducer` from flat kwargs."""
+    return GCondReducer(GCondConfig(seed=seed, **cfg))

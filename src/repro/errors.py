@@ -38,3 +38,11 @@ class InferenceError(ReproError, RuntimeError):
 
 class ConfigError(ReproError, ValueError):
     """An experiment configuration is invalid."""
+
+
+class RegistryError(ConfigError):
+    """A registry lookup failed or a registration key collided."""
+
+
+class ArtifactError(ReproError, RuntimeError):
+    """A persisted artifact is missing, corrupt, or from an unknown format."""

@@ -14,16 +14,7 @@ from functools import cached_property
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.condense import (
-    CondensedGraph,
-    GCondConfig,
-    GCondReducer,
-    MCondConfig,
-    MCondReducer,
-    MCondResult,
-    VngReducer,
-    make_coreset,
-)
+from repro.condense import CondensedGraph, MCondResult
 from repro.experiments.settings import EffortProfile, MethodSpec, METHODS, current_profile
 from repro.graph.datasets import IncrementalBatch, InductiveSplit, load_dataset
 from repro.graph.ops import symmetric_normalize
@@ -31,10 +22,9 @@ from repro.inference.engine import InductiveServer, InferenceReport
 from repro.nn.metrics import accuracy
 from repro.nn.models import GNNModel, make_model
 from repro.nn.trainer import TrainConfig, train_node_classifier
+from repro.registry import REDUCERS
 
 __all__ = ["PreparedDataset", "prepare_dataset", "ExperimentContext"]
-
-_CORESET_NAMES = ("random", "degree", "herding", "kcenter")
 
 
 @dataclass
@@ -78,71 +68,60 @@ class ExperimentContext:
         self.prepared = prepared
         self.profile = profile or current_profile()
         self._condensed: dict[tuple, CondensedGraph] = {}
-        self._mcond_results: dict[tuple, MCondResult] = {}
+        self._method_results: dict[tuple, object] = {}
         self._models: dict[tuple, GNNModel] = {}
 
     # ------------------------------------------------------------------
     # Reduction
     # ------------------------------------------------------------------
-    # Loss weights tuned per dataset by validation accuracy, exactly as the
-    # paper's grid search over {0, 0.01, 0.1, 1, 10, 100, 1000} (Sec. IV-A).
-    _TUNED_MCOND: dict[str, dict[str, float]] = {
-        "pubmed-sim": {"lambda_structure": 0.01},
-        "flickr-sim": {"lambda_structure": 0.1},
-        "reddit-sim": {"lambda_structure": 0.1},
+    # Loss weights tuned per (method, dataset) by validation accuracy,
+    # exactly as the paper's grid search over {0, 0.01, 0.1, 1, 10, 100,
+    # 1000} (Sec. IV-A).
+    _TUNED: dict[str, dict[str, dict[str, float]]] = {
+        "mcond": {
+            "pubmed-sim": {"lambda_structure": 0.01},
+            "flickr-sim": {"lambda_structure": 0.1},
+            "reddit-sim": {"lambda_structure": 0.1},
+        },
     }
 
-    def mcond_config(self, seed: int, **overrides) -> MCondConfig:
-        """MCond configuration at the context's effort profile."""
-        base = dict(
-            outer_loops=self.profile.outer_loops,
-            match_steps=self.profile.match_steps,
-            mapping_steps=self.profile.mapping_steps,
-            relay_steps=self.profile.relay_steps,
-            seed=seed)
-        base.update(self._TUNED_MCOND.get(self.prepared.name, {}))
-        base.update(overrides)
-        return MCondConfig(**base)
+    def reducer_config(self, method: str, **overrides) -> dict:
+        """Flat config for ``method`` at the context's effort profile.
 
-    def gcond_config(self, seed: int, **overrides) -> GCondConfig:
-        base = dict(
-            outer_loops=self.profile.outer_loops,
-            match_steps=self.profile.match_steps,
-            relay_steps=self.profile.relay_steps,
-            seed=seed)
-        base.update(overrides)
-        return GCondConfig(**base)
+        The registry entry declares which profile fields the method
+        understands (``profile_params``); per-dataset tuned weights and
+        caller overrides are layered on top.
+        """
+        entry = REDUCERS.get(method)
+        cfg = {name: getattr(self.profile, name)
+               for name in entry.profile_params}
+        cfg.update(self._TUNED.get(entry.name, {}).get(self.prepared.name, {}))
+        cfg.update(overrides)
+        return cfg
 
     def reduce(self, method: str, budget: int, seed: int = 0,
                **overrides) -> CondensedGraph:
-        """Run (or fetch) a reduction method at the given budget."""
-        key = (method, budget, seed, tuple(sorted(overrides.items())))
+        """Run (or fetch) a registered reduction method at the given budget."""
+        entry = REDUCERS.get(method)
+        key = (entry.name, budget, seed, tuple(sorted(overrides.items())))
         if key in self._condensed:
             return self._condensed[key]
-        if method in _CORESET_NAMES:
-            condensed = make_coreset(method, seed=seed).reduce(
-                self.prepared.split, budget)
-        elif method == "vng":
-            condensed = VngReducer(seed=seed).reduce(self.prepared.split, budget)
-        elif method == "gcond":
-            condensed = GCondReducer(self.gcond_config(seed, **overrides)).reduce(
-                self.prepared.split, budget)
-        elif method == "mcond":
-            reducer = MCondReducer(self.mcond_config(seed, **overrides))
-            condensed = reducer.reduce(self.prepared.split, budget)
-            assert reducer.last_result is not None
-            self._mcond_results[key] = reducer.last_result
-        else:
-            raise ConfigError(f"unknown reduction method {method!r}")
+        reducer = entry.factory(
+            seed=seed, **self.reducer_config(method, **overrides))
+        condensed = reducer.reduce(self.prepared.split, budget)
+        if entry.keeps_result:
+            result = getattr(reducer, "last_result", None)
+            assert result is not None
+            self._method_results[key] = result
         self._condensed[key] = condensed
         return condensed
 
     def mcond_result(self, budget: int, seed: int = 0, **overrides) -> MCondResult:
         """Full MCond result (mapping module + loss histories)."""
         key = ("mcond", budget, seed, tuple(sorted(overrides.items())))
-        if key not in self._mcond_results:
+        if key not in self._method_results:
             self.reduce("mcond", budget, seed, **overrides)
-        return self._mcond_results[key]
+        return self._method_results[key]
 
     # ------------------------------------------------------------------
     # Training

@@ -27,6 +27,7 @@ import scipy.sparse as sp
 from repro.errors import DatasetError
 from repro.graph.generators import SbmConfig, generate_sbm_graph
 from repro.graph.graph import Graph
+from repro.registry import DATASETS, register_dataset
 
 __all__ = [
     "DatasetSpec",
@@ -116,9 +117,13 @@ DATASET_SPECS: dict[str, DatasetSpec] = {
 }
 
 
+for _spec in DATASET_SPECS.values():
+    register_dataset(_spec.name)(_spec)
+
+
 def dataset_names() -> list[str]:
     """Registered dataset identifiers."""
-    return sorted(DATASET_SPECS)
+    return DATASETS.keys()
 
 
 @dataclass(frozen=True)
@@ -295,10 +300,14 @@ def load_dataset(name: str, seed: int = 0, scale: float = 1.0) -> InductiveSplit
     scale:
         Multiplier on the node count (benchmarks use 1.0; tests use less).
     """
-    if name not in DATASET_SPECS:
+    if name not in DATASETS:
         raise DatasetError(
             f"unknown dataset {name!r}; available: {', '.join(dataset_names())}")
-    spec = DATASET_SPECS[name]
+    entry = DATASETS.get(name)
+    if not isinstance(entry, DatasetSpec):
+        # Plugin datasets register a loader callable instead of a spec.
+        return entry(seed=seed, scale=scale)
+    spec = entry
     if scale != 1.0:
         spec = spec.scaled(scale)
     rng = np.random.default_rng(seed)

@@ -48,7 +48,7 @@ class InferenceReport:
     num_nodes: int
     deployment: str
     batch_mode: str
-    logits: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    logits: np.ndarray | None = field(repr=False, default=None)
 
     @property
     def mean_batch_milliseconds(self) -> float:
@@ -70,19 +70,24 @@ class InductiveServer:
         ``"original"`` — serve on the original graph ``base``; or
         ``"synthetic"`` — serve on ``condensed`` through its mapping.
     base:
-        The original graph (required for both deployments: synthetic
-        serving still reads the incremental adjacency indexed by original
-        node ids).
+        The original graph; required for ``"original"`` deployment.  For
+        ``"synthetic"`` deployment it may be ``None`` — batches carry
+        their own incremental adjacency (indexed by original node ids)
+        and the mapping converts it, so the original graph never has to
+        be resident (that is the paper's deployment story, and why
+        :class:`repro.api.DeploymentBundle` omits it).
     condensed:
         The reduced graph; required when ``deployment == "synthetic"`` and
         it must carry a mapping matrix.
     """
 
-    def __init__(self, model: GNNModel, deployment: str, base: Graph,
+    def __init__(self, model: GNNModel, deployment: str, base: Graph | None,
                  condensed: CondensedGraph | None = None) -> None:
         if deployment not in ("original", "synthetic"):
             raise InferenceError(
                 f"deployment must be 'original' or 'synthetic', got {deployment!r}")
+        if deployment == "original" and base is None:
+            raise InferenceError("original deployment requires the base graph")
         if deployment == "synthetic":
             if condensed is None:
                 raise InferenceError("synthetic deployment requires a condensed graph")

@@ -1,4 +1,9 @@
-"""Neural substrate: modules, GNN models, optimizers, trainer, metrics."""
+"""Neural substrate: modules, GNN models, optimizers, trainer, metrics.
+
+Importing this package registers every architecture in
+:data:`repro.registry.MODELS`; :func:`~repro.nn.models.make_model`
+resolves them by name, and :mod:`repro.api` builds on that.
+"""
 
 from repro.nn.module import Module, Parameter
 from repro.nn.init import glorot_uniform, glorot_normal, zeros, uniform
@@ -20,7 +25,6 @@ from repro.nn.models import (
     Cheby,
     MLP,
     make_model,
-    MODEL_REGISTRY,
 )
 from repro.nn.optim import Optimizer, SGD, Adam
 from repro.nn.trainer import (
@@ -31,6 +35,14 @@ from repro.nn.trainer import (
     evaluate_accuracy,
 )
 from repro.nn.metrics import accuracy, macro_f1, confusion_matrix, predictions_from_logits
+
+
+def __getattr__(name: str):
+    if name == "MODEL_REGISTRY":  # live view — see repro.nn.models
+        from repro.nn import models
+        return models.MODEL_REGISTRY
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Module", "Parameter",

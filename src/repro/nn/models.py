@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.nn.layers import APPNPPropagate, ChebConv, GCNConv, Linear, SAGEConv, propagate
 from repro.nn.module import Module
+from repro.registry import MODELS, register_model
 from repro.tensor.tensor import Tensor, as_tensor, dropout, relu
 
 __all__ = ["GNNModel", "SGC", "GCN", "GraphSAGE", "APPNP", "Cheby", "MLP",
@@ -186,21 +187,32 @@ class MLP(GNNModel):
         return self.linear_out(self.embed(operator, x))
 
 
-MODEL_REGISTRY: dict[str, type[GNNModel]] = {
-    "sgc": SGC,
-    "gcn": GCN,
-    "graphsage": GraphSAGE,
-    "appnp": APPNP,
-    "cheby": Cheby,
-    "mlp": MLP,
-}
+for _name, _cls in (("sgc", SGC), ("gcn", GCN), ("graphsage", GraphSAGE),
+                    ("appnp", APPNP), ("cheby", Cheby), ("mlp", MLP)):
+    register_model(_name)(_cls)
+
+
+def __getattr__(name: str):
+    # Legacy alias kept for callers that enumerate architectures directly.
+    # A live read-only view: plugin models registered later appear, and the
+    # pre-1.1 mutation idiom (MODEL_REGISTRY["x"] = cls) fails loudly —
+    # registration goes through repro.registry.register_model now.
+    if name == "MODEL_REGISTRY":
+        return MODELS.view()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def make_model(name: str, in_features: int, num_classes: int,
                seed: int = 0, **kwargs) -> GNNModel:
-    """Instantiate a model by registry name (case-insensitive)."""
-    key = name.lower()
-    if key not in MODEL_REGISTRY:
-        raise ConfigError(
-            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_REGISTRY))}")
-    return MODEL_REGISTRY[key](in_features, num_classes, seed=seed, **kwargs)
+    """Instantiate a model by registry name (case-insensitive).
+
+    The returned model carries ``registry_name`` and ``build_config``
+    attributes recording how to rebuild it — :class:`repro.api.DeploymentBundle`
+    persists these alongside the weights.
+    """
+    cls = MODELS.get(name)
+    model = cls(in_features, num_classes, seed=seed, **kwargs)
+    model.registry_name = name.lower()
+    model.build_config = {"in_features": in_features,
+                          "num_classes": num_classes, "seed": seed, **kwargs}
+    return model

@@ -1,6 +1,8 @@
-"""Small shared utilities: seeding, timing, table-free progress logs."""
+"""Small shared utilities: seeding, timing, artifact paths."""
 
+from repro.utils.artifacts import normalize_npz_path
 from repro.utils.seeding import seed_everything, spawn_rngs
 from repro.utils.timers import Stopwatch, format_seconds
 
-__all__ = ["seed_everything", "spawn_rngs", "Stopwatch", "format_seconds"]
+__all__ = ["seed_everything", "spawn_rngs", "Stopwatch", "format_seconds",
+           "normalize_npz_path"]

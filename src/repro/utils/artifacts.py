@@ -1,0 +1,27 @@
+"""Shared helpers for ``.npz`` artifact files.
+
+``np.savez`` silently appends ``.npz`` to paths that lack the suffix, so a
+naive ``save("x.bin")`` writes ``x.bin.npz`` while ``load("x.bin")`` looks
+for the original name and fails.  Every artifact writer/reader in the
+library routes paths through :func:`normalize_npz_path` so save and load
+always agree on the on-disk name.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["normalize_npz_path"]
+
+
+def normalize_npz_path(path: str | Path) -> Path:
+    """Return ``path`` with the ``.npz`` suffix ``np.savez`` would produce.
+
+    Mirrors numpy's behavior exactly: a missing suffix is appended (not
+    substituted), so ``x.bin`` maps to ``x.bin.npz`` and ``x.npz`` is left
+    untouched.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path

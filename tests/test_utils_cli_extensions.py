@@ -56,6 +56,16 @@ class TestTimers:
             format_seconds(-1.0)
 
 
+def _fast_profile(monkeypatch):
+    """Patch the CLI's quick profile to something near-instant."""
+    import repro.cli as cli
+    from repro.experiments import EffortProfile
+    monkeypatch.setattr(cli, "QUICK", EffortProfile(
+        name="cli-test", train_epochs=5, train_patience=5, train_lr=0.05,
+        outer_loops=1, match_steps=1, mapping_steps=2, relay_steps=1,
+        seeds=(0,), inference_repeats=1))
+
+
 class TestCli:
     def test_parser_experiments(self):
         parser = build_parser()
@@ -73,14 +83,65 @@ class TestCli:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_list_enumerates_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("mcond", "gcond", "sgc", "pubmed-sim", "table2",
+                    "mcond_ss"):
+            assert key in out
+
+    def test_condense_unknown_method_lists_keys(self, capsys):
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "nope",
+                     "--budget", "9"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "mcond" in err           # the available keys are listed
+
+    def test_condense_unknown_dataset_lists_keys(self, capsys):
+        code = main(["condense", "--dataset", "nope", "--method", "mcond"])
+        assert code == 2
+        assert "tiny-sim" in capsys.readouterr().err
+
+    def test_serve_missing_artifact_exits_cleanly(self, capsys, tmp_path):
+        code = main(["serve", "--artifact", str(tmp_path / "missing.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_condense_then_serve_roundtrip(self, capsys, monkeypatch,
+                                           tmp_path):
+        _fast_profile(monkeypatch)
+        artifact = tmp_path / "bundle.npz"
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "mcond",
+                     "--budget", "9", "--output", str(artifact)])
+        assert code == 0
+        assert artifact.exists()
+        out = capsys.readouterr().out
+        assert "DeploymentBundle" in out
+
+        code = main(["serve", "--artifact", str(artifact),
+                     "--batch-mode", "node"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        assert "synthetic" in out
+
+    def test_eval_runs_one_method(self, capsys, monkeypatch):
+        _fast_profile(monkeypatch)
+        code = main(["eval", "--dataset", "tiny-sim", "--method", "random",
+                     "--budget", "9", "--batch-mode", "node"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+
+    def test_eval_unknown_method_exits_cleanly(self, capsys):
+        code = main(["eval", "--dataset", "tiny-sim", "--method", "bogus",
+                     "--budget", "9"])
+        assert code == 2
+        assert "whole" in capsys.readouterr().err  # known methods listed
+
     def test_table5_runs_on_tiny(self, capsys, monkeypatch):
-        # Patch the quick profile to something near-instant for the test.
-        import repro.cli as cli
-        from repro.experiments import EffortProfile
-        monkeypatch.setattr(cli, "QUICK", EffortProfile(
-            name="cli-test", train_epochs=5, train_patience=5, train_lr=0.05,
-            outer_loops=1, match_steps=1, mapping_steps=2, relay_steps=1,
-            seeds=(0,), inference_repeats=1))
+        _fast_profile(monkeypatch)
         code = main(["table5", "--dataset", "tiny-sim", "--budget", "9"])
         assert code == 0
         out = capsys.readouterr().out
