@@ -1,0 +1,69 @@
+"""Online serving: a live runtime under Poisson traffic.
+
+Where ``inductive_serving.py`` replays the paper's two fixed batch modes,
+this example runs the deployment the way a production system would: a
+long-lived :class:`~repro.serving.runtime.ServingRuntime` with a
+micro-batching scheduler, fed by a Poisson arrival process of single-node
+classification requests.  It contrasts two scheduling policies on the
+same traffic:
+
+- ``immediate``   — every request is its own forward pass (latency-first);
+- ``microbatch``  — requests arriving within a few milliseconds share one
+  attach+normalize+forward pass (throughput-first).
+
+Run:  python examples/online_serving.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import api
+from repro.registry import make_workload
+from repro.serving import replay, split_requests
+
+DATASET = "pubmed-sim"
+NUM_REQUESTS = 200
+RATE = 400.0  # requests/second
+
+
+def main() -> None:
+    print(f"offline phase: condensing {DATASET} and packaging a bundle...")
+    bundle = api.deploy(DATASET, method="mcond", budget=30, seed=0,
+                        profile="quick")
+    print(f"  -> {bundle!r}")
+
+    stream = split_requests(api.evaluation_batch(bundle), NUM_REQUESTS, 1)
+    workload = make_workload("poisson", rate=RATE)
+    arrivals = workload.arrivals(NUM_REQUESTS, np.random.default_rng(0))
+    print(f"replaying {NUM_REQUESTS} single-node requests, Poisson @ "
+          f"{RATE:.0f} req/s ({arrivals[-1]:.2f}s of traffic)\n")
+
+    header = (f"{'scheduler':<12} {'p50 ms':>8} {'p95 ms':>8} {'p99 ms':>8} "
+              f"{'wait ms':>8} {'req/batch':>10} {'req/s':>8}")
+    print(header)
+    print("-" * len(header))
+    for scheduler in ("immediate", "microbatch"):
+        runtime = api.open_runtime(bundle, scheduler=scheduler,
+                                   batch_mode="node", max_batch_size=32,
+                                   max_wait_ms=5.0)
+        with runtime:
+            replay(runtime, stream, arrivals)
+        stats = runtime.stats()
+        print(f"{scheduler:<12} {stats.latency_p50 * 1e3:>8.2f} "
+              f"{stats.latency_p95 * 1e3:>8.2f} "
+              f"{stats.latency_p99 * 1e3:>8.2f} "
+              f"{stats.queue_wait_mean * 1e3:>8.2f} "
+              f"{stats.mean_batch_requests:>10.1f} "
+              f"{stats.throughput_rps:>8.0f}")
+
+    print("\nmicro-batching trades queueing delay for shared passes: each "
+          "coalesced batch serves bitwise-exactly as one engine pass over "
+          "the merged requests.  (As with any serving batch size, batch "
+          "composition itself shifts logits slightly — coalesced arrivals "
+          "renormalize their shared neighbourhood together, the same "
+          "effect as the paper's graph- vs node-batch modes.)")
+
+
+if __name__ == "__main__":
+    main()

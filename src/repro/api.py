@@ -53,9 +53,12 @@ from repro.inference.engine import InductiveServer, InferenceReport
 from repro.nn.metrics import accuracy as _accuracy
 from repro.nn.models import GNNModel, make_model
 from repro.registry import DATASETS, MODELS, REDUCERS
+from repro.serving.prepared import PreparedDeployment
+from repro.serving.runtime import ServingRuntime
 from repro.utils.artifacts import normalize_npz_path
 
-__all__ = ["condense", "deploy", "serve", "DeploymentBundle"]
+__all__ = ["condense", "deploy", "serve", "open_runtime",
+           "evaluation_batch", "DeploymentBundle"]
 
 
 # ----------------------------------------------------------------------
@@ -202,6 +205,10 @@ class DeploymentBundle:
         """An :class:`~repro.inference.engine.InductiveServer` ready to run."""
         return InductiveServer(self.model(), self.deployment, self.base,
                                self.condensed)
+
+    def prepare(self) -> PreparedDeployment:
+        """The request-invariant serving cache for this bundle."""
+        return PreparedDeployment.from_bundle(self)
 
     def serve(self, batches=None, *, batch_mode: str = "graph",
               batch_size: int = 1000) -> InferenceReport:
@@ -374,7 +381,7 @@ def serve(bundle: DeploymentBundle | str | Path,
     if not isinstance(bundle, DeploymentBundle):
         bundle = DeploymentBundle.load(bundle)
     if batches is None:
-        batches = _evaluation_batch(bundle)
+        batches = evaluation_batch(bundle)
     if isinstance(batches, IncrementalBatch):
         batches = [batches]
     if not batches:
@@ -387,7 +394,41 @@ def serve(bundle: DeploymentBundle | str | Path,
     return _merge_reports(reports, [b.labels for b in batches])
 
 
-def _evaluation_batch(bundle: DeploymentBundle) -> IncrementalBatch:
+def open_runtime(bundle: DeploymentBundle | str | Path, *,
+                 scheduler: str = "microbatch", batch_mode: str = "graph",
+                 max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                 queue_capacity: int = 1024, overflow: str = "block",
+                 precision: str = "exact") -> ServingRuntime:
+    """Open a long-lived :class:`~repro.serving.runtime.ServingRuntime`.
+
+    ``bundle`` may be a :class:`DeploymentBundle` or a path to one.  The
+    runtime coalesces concurrent requests through the named micro-batch
+    scheduler (a :data:`repro.registry.SCHEDULERS` key) over a prepared
+    deployment cache; see :mod:`repro.serving` for the moving parts.
+
+    >>> runtime = api.open_runtime("artifact.npz")      # doctest: +SKIP
+    >>> with runtime:                                   # doctest: +SKIP
+    ...     future = runtime.submit(x, connections)
+    ...     logits = future.result()
+    """
+    if not isinstance(bundle, DeploymentBundle):
+        bundle = DeploymentBundle.load(bundle)
+    return ServingRuntime(
+        bundle.prepare(), scheduler,
+        batch_mode=batch_mode, queue_capacity=queue_capacity,
+        overflow=overflow, precision=precision,
+        scheduler_options={"max_batch_size": max_batch_size,
+                           "max_wait_ms": max_wait_ms})
+
+
+def evaluation_batch(bundle: DeploymentBundle) -> IncrementalBatch:
+    """Regenerate the evaluation (test) batch a bundle was deployed for.
+
+    The simulators are deterministic, so the bundle's recorded
+    dataset/seed/scale reproduce the in-memory pipeline's batch exactly —
+    this is what ``serve``, ``repro serve-online`` and the serving
+    benchmark replay against.
+    """
     dataset = bundle.metadata.get("dataset")
     if not dataset:
         raise ConfigError(

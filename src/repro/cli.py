@@ -5,6 +5,8 @@ The pipeline commands mirror the paper's offline/online split::
     repro condense --dataset pubmed-sim --method mcond --budget 30 \\
                    --output artifact.npz     # offline: condense + train
     repro serve    --artifact artifact.npz --batch-mode node
+    repro serve-online --artifact artifact.npz --workload poisson --rate 400
+    repro bench    --dataset pubmed-sim      # writes BENCH_serving.json
     repro eval     --dataset pubmed-sim --method mcond_ss --budget 30
     repro list                                # registry contents
 
@@ -98,6 +100,68 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--batch-size", type=int, default=1000,
                        help="serving mini-batch size (default: 1000)")
 
+    online = sub.add_parser(
+        "serve-online",
+        help="drive the micro-batching serving runtime with a synthetic "
+             "request workload and report latency percentiles")
+    online.add_argument("--artifact", required=True,
+                        help="deployment bundle produced by "
+                             "'repro condense --output'")
+    online.add_argument("--workload", default="poisson",
+                        help="workload generator registry key "
+                             "(default: poisson)")
+    online.add_argument("--rate", type=float, default=200.0,
+                        help="mean arrival rate in requests/s; bursty/ramp "
+                             "keep their shape around this mean "
+                             "(default: 200)")
+    online.add_argument("--requests", type=int, default=200,
+                        help="number of requests to replay (default: 200)")
+    online.add_argument("--nodes-per-request", type=int, default=1,
+                        help="inductive nodes per request (default: 1)")
+    online.add_argument("--scheduler", default="microbatch",
+                        help="micro-batch scheduler registry key "
+                             "(default: microbatch)")
+    online.add_argument("--max-batch-size", type=int, default=32,
+                        help="scheduler batch-size cap (default: 32)")
+    online.add_argument("--max-wait-ms", type=float, default=2.0,
+                        help="scheduler wait cap in ms (default: 2)")
+    online.add_argument("--batch-mode", choices=("graph", "node"),
+                        default="node")
+    online.add_argument("--seed", type=int, default=0,
+                        help="workload arrival seed (default: 0)")
+    online.add_argument("--closed-loop", action="store_true",
+                        help="submit eagerly instead of honouring arrival "
+                             "times (no sleeps; measures drain rate)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the serving-latency benchmark (cached vs uncached vs "
+             "frozen paths + runtime replay) and write BENCH_serving.json")
+    _add_common(bench)
+    bench.add_argument("--method", default="mcond",
+                       help="reduction method registry key (default: mcond)")
+    bench.add_argument("--budget", type=int, default=None,
+                       help="synthetic node budget (default: the dataset's "
+                            "largest registered budget)")
+    bench.add_argument("--scale", type=float, default=1.0,
+                       help="dataset scale multiplier (default: 1.0; CI "
+                            "uses smaller for a tight time budget)")
+    bench.add_argument("--requests", type=int, default=48,
+                       help="requests in the stream (default: 48)")
+    bench.add_argument("--nodes-per-request", type=int, default=4,
+                       help="inductive nodes per request (default: 4)")
+    bench.add_argument("--max-batch-size", type=int, default=8,
+                       help="micro-batch size cap (default: 8)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="timing repeats per batch, best kept "
+                            "(default: 3)")
+    bench.add_argument("--batch-mode", choices=("graph", "node"),
+                       default="node")
+    bench.add_argument("--include-original", action="store_true",
+                       help="also benchmark the whole-graph deployment")
+    bench.add_argument("--output", default="BENCH_serving.json",
+                       help="output JSON path (default: BENCH_serving.json)")
+
     evaluate = sub.add_parser(
         "eval",
         help="run one Table-II method end to end in memory and report "
@@ -121,6 +185,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     condense.set_defaults(handler=_cmd_condense)
     serve.set_defaults(handler=_cmd_serve)
+    online.set_defaults(handler=_cmd_serve_online)
+    bench.set_defaults(handler=_cmd_bench)
     evaluate.set_defaults(handler=_cmd_eval)
 
     for name in _EXPERIMENTS:
@@ -184,6 +250,72 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_serve_online(args) -> int:
+    import numpy as np
+
+    from repro.registry import make_workload
+    from repro.serving import replay, split_requests
+
+    bundle = api.DeploymentBundle.load(args.artifact)
+    print(bundle)
+    runtime = api.open_runtime(bundle, scheduler=args.scheduler,
+                               batch_mode=args.batch_mode,
+                               max_batch_size=args.max_batch_size,
+                               max_wait_ms=args.max_wait_ms)
+    batch = api.evaluation_batch(bundle)
+    requests = split_requests(batch, args.requests, args.nodes_per_request)
+    workload = make_workload(args.workload, rate=args.rate)
+    arrivals = None
+    if not args.closed_loop:
+        arrivals = workload.arrivals(args.requests,
+                                     np.random.default_rng(args.seed))
+    with runtime:
+        replay(runtime, requests, arrivals)
+    stats = runtime.stats()
+    mode = "closed loop" if args.closed_loop else (
+        f"open loop, {args.workload} @ {args.rate:g} req/s")
+    print(f"served {stats.requests} requests ({stats.nodes} nodes) "
+          f"in {stats.batches} micro-batches — {mode}")
+    print(f"  latency p50/p95/p99   {stats.latency_p50 * 1e3:.2f} / "
+          f"{stats.latency_p95 * 1e3:.2f} / {stats.latency_p99 * 1e3:.2f} ms")
+    print(f"  queue wait / compute  {stats.queue_wait_mean * 1e3:.2f} / "
+          f"{stats.compute_mean * 1e3:.2f} ms (means)")
+    print(f"  throughput            {stats.throughput_rps:.0f} req/s "
+          f"({stats.mean_batch_requests:.1f} req/batch)")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.serving import (
+        check_benchmark_schema,
+        run_serving_benchmark,
+        write_benchmark_json,
+    )
+
+    result = run_serving_benchmark(
+        args.dataset, method=args.method, budget=args.budget, seed=args.seed,
+        scale=args.scale, profile=args.effort, num_requests=args.requests,
+        nodes_per_request=args.nodes_per_request,
+        max_batch_size=args.max_batch_size, repeats=args.repeats,
+        batch_mode=args.batch_mode, include_original=args.include_original)
+    check_benchmark_schema(result)
+    path = write_benchmark_json(result, args.output)
+    for name, deployment in result["deployments"].items():
+        paths = deployment["paths"]
+        line = " vs ".join(
+            f"{key} {value['mean_ms']:.2f}ms" for key, value in paths.items())
+        print(f"{name}: {line} "
+              f"(cached speedup {deployment['speedup_cached_vs_uncached']:.2f}x)")
+        runtime = deployment["runtime"]
+        print(f"  runtime p50/p95/p99 "
+              f"{runtime['latency_p50_ms']:.2f}/{runtime['latency_p95_ms']:.2f}/"
+              f"{runtime['latency_p99_ms']:.2f} ms, "
+              f"{runtime['throughput_rps']:.0f} req/s")
+    print(f"bitwise parity: {result['parity']['cached_bitwise_equal']}")
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_eval(args) -> int:
     budget = _default_budget(args)
     context = ExperimentContext(
@@ -208,6 +340,9 @@ def _print_report(report) -> None:
 
 
 def _cmd_list(args) -> int:
+    import repro.serving  # noqa: F401 — populates scheduler/workload registries
+    from repro.registry import SCHEDULERS, WORKLOADS
+
     print("reduction methods (repro condense --method):")
     for name, entry in REDUCERS.items():
         print(f"  {name:<10} {entry.description}")
@@ -215,6 +350,12 @@ def _cmd_list(args) -> int:
     print(f"  {', '.join(MODELS.keys())}")
     print("\ndatasets (--dataset):")
     print(f"  {', '.join(DATASETS.keys())}")
+    print("\nmicro-batch schedulers (repro serve-online --scheduler):")
+    for name, entry in SCHEDULERS.items():
+        print(f"  {name:<10} {entry.description}")
+    print("\nworkload generators (repro serve-online --workload):")
+    for name, entry in WORKLOADS.items():
+        print(f"  {name:<10} {entry.description}")
     print("\ntable-II method columns (repro eval --method):")
     for name, spec in METHODS.items():
         print(f"  {name:<10} {spec.setting}")

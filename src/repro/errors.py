@@ -36,6 +36,10 @@ class InferenceError(ReproError, RuntimeError):
     """The inductive inference engine received inconsistent inputs."""
 
 
+class ServingError(InferenceError):
+    """The online serving runtime rejected a request or is misconfigured."""
+
+
 class ConfigError(ReproError, ValueError):
     """An experiment configuration is invalid."""
 

@@ -114,15 +114,15 @@ def convert_connections(incremental: sp.spmatrix, mapping: np.ndarray | sp.spmat
     """
     inc = incremental.tocsr().astype(np.float64) if sp.issparse(incremental) \
         else sp.csr_matrix(np.asarray(incremental, dtype=np.float64))
+    if not sp.issparse(mapping):
+        mapping = np.asarray(mapping, dtype=np.float64)
+    if inc.shape[1] != mapping.shape[0]:
+        raise GraphError(
+            f"incremental columns ({inc.shape[1]}) != mapping rows ({mapping.shape[0]})")
     if sp.issparse(mapping):
-        product = inc @ mapping.tocsr().astype(np.float64)
-        converted = product.tocsr()
+        converted = (inc @ mapping.tocsr().astype(np.float64)).tocsr()
     else:
-        dense_map = np.asarray(mapping, dtype=np.float64)
-        if inc.shape[1] != dense_map.shape[0]:
-            raise GraphError(
-                f"incremental columns ({inc.shape[1]}) != mapping rows ({dense_map.shape[0]})")
-        converted = sp.csr_matrix(inc @ dense_map)
+        converted = sp.csr_matrix(inc @ mapping)
     converted.eliminate_zeros()
     return converted
 

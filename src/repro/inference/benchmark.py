@@ -13,8 +13,26 @@ from repro.condense.base import CondensedGraph
 from repro.graph.graph import Graph
 from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
 
-__all__ = ["TimingStats", "time_callable", "graph_storage_bytes",
-           "deployment_storage_bytes", "speedup", "compression"]
+__all__ = ["TimingStats", "latency_percentiles", "time_callable",
+           "graph_storage_bytes", "deployment_storage_bytes", "speedup",
+           "compression"]
+
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def latency_percentiles(samples) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of a latency sample set.
+
+    The single quantile implementation shared by :class:`TimingStats` and
+    the serving runtime's per-request accounting
+    (:mod:`repro.serving.stats`) — percentile semantics (linear
+    interpolation) stay consistent across every latency report.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0:
+        raise InferenceError("percentiles need at least one sample")
+    values = np.percentile(arr, PERCENTILES)
+    return {f"p{int(p)}": float(v) for p, v in zip(PERCENTILES, values)}
 
 
 @dataclass(frozen=True)
@@ -26,10 +44,30 @@ class TimingStats:
     min_seconds: float
     max_seconds: float
     repeats: int
+    p50_seconds: float | None = None
+    p95_seconds: float | None = None
+    p99_seconds: float | None = None
 
     @property
     def mean_milliseconds(self) -> float:
         return self.mean_seconds * 1e3
+
+    @classmethod
+    def from_samples(cls, samples) -> "TimingStats":
+        """Summarize raw wall-clock samples, percentiles included."""
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            raise InferenceError("TimingStats needs at least one sample")
+        tail = latency_percentiles(arr)
+        return cls(
+            mean_seconds=float(arr.mean()),
+            median_seconds=float(np.median(arr)),
+            min_seconds=float(arr.min()),
+            max_seconds=float(arr.max()),
+            repeats=int(arr.size),
+            p50_seconds=tail["p50"],
+            p95_seconds=tail["p95"],
+            p99_seconds=tail["p99"])
 
 
 def time_callable(func: Callable[[], object], repeats: int = 5,
@@ -44,13 +82,7 @@ def time_callable(func: Callable[[], object], repeats: int = 5,
         start = time.perf_counter()
         func()
         samples.append(time.perf_counter() - start)
-    arr = np.asarray(samples)
-    return TimingStats(
-        mean_seconds=float(arr.mean()),
-        median_seconds=float(np.median(arr)),
-        min_seconds=float(arr.min()),
-        max_seconds=float(arr.max()),
-        repeats=repeats)
+    return TimingStats.from_samples(samples)
 
 
 def graph_storage_bytes(graph: Graph) -> int:

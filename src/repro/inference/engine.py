@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 import scipy.sparse as sp
@@ -33,7 +34,34 @@ from repro.nn.models import GNNModel
 from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
 from repro.tensor.tensor import Tensor, no_grad
 
-__all__ = ["InferenceReport", "InductiveServer", "run_inference"]
+if TYPE_CHECKING:  # serving sits above inference; import it lazily at runtime
+    from repro.serving.prepared import PreparedDeployment
+
+__all__ = ["InferenceReport", "InductiveServer", "run_inference",
+           "validate_deployment"]
+
+
+def validate_deployment(deployment: str, base: Graph | None,
+                        condensed: CondensedGraph | None) -> None:
+    """Reject inconsistent deployment configurations.
+
+    Shared by :class:`InductiveServer` and
+    :class:`repro.serving.prepared.PreparedDeployment` so both serving
+    surfaces fail identically, with or without the prepared cache.
+    """
+    if deployment not in ("original", "synthetic"):
+        raise InferenceError(
+            f"deployment must be 'original' or 'synthetic', got {deployment!r}")
+    if deployment == "original" and base is None:
+        raise InferenceError("original deployment requires the base graph")
+    if deployment == "synthetic":
+        if condensed is None:
+            raise InferenceError("synthetic deployment requires a condensed graph")
+        if not condensed.supports_attachment():
+            raise InferenceError(
+                f"method {condensed.method!r} has no mapping matrix; "
+                "it cannot attach inductive nodes to the synthetic graph "
+                "(this is exactly the limitation of conventional GC)")
 
 
 @dataclass
@@ -79,36 +107,63 @@ class InductiveServer:
     condensed:
         The reduced graph; required when ``deployment == "synthetic"`` and
         it must carry a mapping matrix.
+    use_cache:
+        When true (the default), ``serve_batch`` runs through a
+        :class:`~repro.serving.prepared.PreparedDeployment`: the base
+        block's self-loops, canonical form and scatter layout are
+        computed once instead of re-normalizing the full ``(B+n, B+n)``
+        adjacency every batch.  Logits are bitwise identical either way
+        (the parity tests assert it); ``use_cache=False`` keeps the
+        naive path for benchmarking the difference.
     """
 
     def __init__(self, model: GNNModel, deployment: str, base: Graph | None,
-                 condensed: CondensedGraph | None = None) -> None:
-        if deployment not in ("original", "synthetic"):
-            raise InferenceError(
-                f"deployment must be 'original' or 'synthetic', got {deployment!r}")
-        if deployment == "original" and base is None:
-            raise InferenceError("original deployment requires the base graph")
-        if deployment == "synthetic":
-            if condensed is None:
-                raise InferenceError("synthetic deployment requires a condensed graph")
-            if not condensed.supports_attachment():
-                raise InferenceError(
-                    f"method {condensed.method!r} has no mapping matrix; "
-                    "it cannot attach inductive nodes to the synthetic graph "
-                    "(this is exactly the limitation of conventional GC)")
+                 condensed: CondensedGraph | None = None, *,
+                 use_cache: bool = True) -> None:
+        validate_deployment(deployment, base, condensed)
+        # Both serving states are built on first use: the cached server
+        # never materializes the naive adjacency/feature views, and the
+        # uncached server never pays the cache's O(nnz) construction.
+        self._prepared = None
+        self._naive_state: tuple | None = None
         self.model = model
         self.deployment = deployment
         self.base = base
         self.condensed = condensed
-        if deployment == "synthetic":
-            assert condensed is not None
-            self._adjacency = condensed.sparse_adjacency()
-            self._features = condensed.features
-            self._mapping = condensed.mapping
-        else:
-            self._adjacency = base.adjacency
-            self._features = base.features
-            self._mapping = None
+        self.use_cache = use_cache
+
+    @property
+    def prepared(self) -> "PreparedDeployment":
+        """The request-invariant cache this server serves through."""
+        if self._prepared is None:
+            from repro.serving.prepared import PreparedDeployment
+            self._prepared = PreparedDeployment(self.model, self.deployment,
+                                                self.base, self.condensed)
+        return self._prepared
+
+    @property
+    def _adjacency(self):
+        return self._naive()[0]
+
+    @property
+    def _features(self):
+        return self._naive()[1]
+
+    @property
+    def _mapping(self):
+        return self._naive()[2]
+
+    def _naive(self) -> tuple:
+        if self._naive_state is None:
+            if self.deployment == "synthetic":
+                assert self.condensed is not None
+                self._naive_state = (self.condensed.sparse_adjacency(),
+                                     self.condensed.features,
+                                     self.condensed.mapping)
+            else:
+                self._naive_state = (self.base.adjacency,
+                                     self.base.features, None)
+        return self._naive_state
 
     # ------------------------------------------------------------------
     def attach(self, batch: IncrementalBatch,
@@ -128,6 +183,8 @@ class InductiveServer:
     def serve_batch(self, batch: IncrementalBatch,
                     batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
         """Serve one batch; returns ``(logits, seconds, memory_bytes)``."""
+        if self.use_cache:
+            return self.prepared.serve_batch(batch, batch_mode)
         self.model.eval()
         start = time.perf_counter()
         attached = self.attach(batch, batch_mode)

@@ -25,13 +25,20 @@ from repro.errors import RegistryError
 __all__ = [
     "Registry",
     "ReducerEntry",
+    "FactoryEntry",
     "REDUCERS",
     "MODELS",
     "DATASETS",
+    "SCHEDULERS",
+    "WORKLOADS",
     "register_reducer",
     "register_model",
     "register_dataset",
+    "register_scheduler",
+    "register_workload",
     "make_reducer",
+    "make_scheduler",
+    "make_workload",
 ]
 
 T = TypeVar("T")
@@ -122,9 +129,24 @@ class ReducerEntry:
     keeps_result: bool = False  # factory's reducer exposes ``last_result``
 
 
+@dataclass(frozen=True)
+class FactoryEntry:
+    """A registered factory with a one-line description for ``repro list``.
+
+    Used by the serving registries: ``factory(**config)`` builds a
+    micro-batch scheduler or a workload generator.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    description: str = ""
+
+
 REDUCERS: Registry[ReducerEntry] = Registry("reduction method")
 MODELS: Registry[type] = Registry("model architecture")
 DATASETS: Registry[Any] = Registry("dataset")
+SCHEDULERS: Registry[FactoryEntry] = Registry("micro-batch scheduler")
+WORKLOADS: Registry[FactoryEntry] = Registry("workload generator")
 
 
 def register_reducer(name: str, *, profile_params: tuple[str, ...] = (),
@@ -168,6 +190,34 @@ def register_dataset(name: str, *, overwrite: bool = False):
     return wrap
 
 
+def register_scheduler(name: str, *, description: str = "",
+                       overwrite: bool = False):
+    """Decorator registering a micro-batch scheduler factory under ``name``."""
+
+    def wrap(factory):
+        SCHEDULERS.register(
+            name, FactoryEntry(name=name.lower(), factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+
+    return wrap
+
+
+def register_workload(name: str, *, description: str = "",
+                      overwrite: bool = False):
+    """Decorator registering a workload-generator factory under ``name``."""
+
+    def wrap(factory):
+        WORKLOADS.register(
+            name, FactoryEntry(name=name.lower(), factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+
+    return wrap
+
+
 def make_reducer(method: str, seed: int = 0, **cfg):
     """Instantiate a registered reduction method.
 
@@ -176,3 +226,13 @@ def make_reducer(method: str, seed: int = 0, **cfg):
     """
     entry = REDUCERS.get(method)
     return entry.factory(seed=seed, **cfg)
+
+
+def make_scheduler(name: str, **cfg):
+    """Instantiate a registered micro-batch scheduler."""
+    return SCHEDULERS.get(name).factory(**cfg)
+
+
+def make_workload(name: str, **cfg):
+    """Instantiate a registered workload generator."""
+    return WORKLOADS.get(name).factory(**cfg)

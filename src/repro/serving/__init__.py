@@ -1,0 +1,58 @@
+"""Online serving runtime: condense offline once, serve traffic forever.
+
+This package turns the one-shot :mod:`repro.inference` engine into a
+long-lived service — the deployment shape the paper's Eq. (11) exists
+for.  The pieces:
+
+- :mod:`~repro.serving.prepared` — request-invariant cache with an exact
+  (bitwise-parity) fast attach+normalize and a cached-propagation path;
+- :mod:`~repro.serving.runtime` — micro-batching runtime with futures;
+- :mod:`~repro.serving.scheduler` — pluggable batch-formation policies;
+- :mod:`~repro.serving.queue` — bounded admission with backpressure;
+- :mod:`~repro.serving.workload` — Poisson/bursty/ramp traffic shapes;
+- :mod:`~repro.serving.stats` — p50/p95/p99 latency accounting;
+- :mod:`~repro.serving.bench` — the ``repro bench`` latency benchmark.
+
+Entry point: ``repro.api.open_runtime(bundle)``.
+"""
+
+from repro.serving.prepared import PreparedDeployment
+from repro.serving.queue import BoundedRequestQueue, QueueFullError
+from repro.serving.runtime import (
+    Request,
+    ServingFuture,
+    ServingRuntime,
+    merge_requests,
+)
+from repro.serving.scheduler import (
+    ImmediateScheduler,
+    MicroBatchScheduler,
+    SizeCapScheduler,
+)
+from repro.serving.stats import LatencyAccounting, RequestRecord, RuntimeStats
+from repro.serving.workload import (
+    BurstyWorkload,
+    PoissonWorkload,
+    RampWorkload,
+    WorkloadGenerator,
+    replay,
+    split_requests,
+)
+from repro.serving.bench import (
+    BENCH_SCHEMA_VERSION,
+    check_benchmark_schema,
+    run_serving_benchmark,
+    write_benchmark_json,
+)
+
+__all__ = [
+    "PreparedDeployment",
+    "BoundedRequestQueue", "QueueFullError",
+    "ServingRuntime", "ServingFuture", "Request", "merge_requests",
+    "MicroBatchScheduler", "ImmediateScheduler", "SizeCapScheduler",
+    "LatencyAccounting", "RequestRecord", "RuntimeStats",
+    "WorkloadGenerator", "PoissonWorkload", "BurstyWorkload", "RampWorkload",
+    "split_requests", "replay",
+    "BENCH_SCHEMA_VERSION", "run_serving_benchmark", "write_benchmark_json",
+    "check_benchmark_schema",
+]

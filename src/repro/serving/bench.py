@@ -1,0 +1,231 @@
+"""The standardized serving-latency benchmark behind ``repro bench``.
+
+Measures, on a simulated dataset, the three serving paths over identical
+micro-batches:
+
+- ``uncached``  — the naive engine path (re-normalizes the full augmented
+  adjacency every batch);
+- ``cached``    — the :class:`~repro.serving.prepared.PreparedDeployment`
+  path (bitwise-identical logits, request-invariant work hoisted out);
+- ``frozen``    — the cached-propagation approximation (SGC only).
+
+plus a closed-loop :class:`~repro.serving.runtime.ServingRuntime` replay
+for end-to-end throughput/latency accounting.  The result is a
+machine-readable dict (schema below, asserted by the test suite) written
+to ``BENCH_serving.json`` — the repo's serving-performance trajectory is
+the history of this file across commits.
+
+Per-batch latency is the **best of ``repeats`` runs** (discarding OS
+scheduler noise), and the reported mean averages those minima across
+batches; percentiles come from the shared quantile helper.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.inference.benchmark import TimingStats
+from repro.inference.engine import InductiveServer
+from repro.serving.prepared import PreparedDeployment
+from repro.serving.runtime import ServingRuntime
+from repro.serving.workload import split_requests, replay
+
+__all__ = ["BENCH_SCHEMA_VERSION", "run_serving_benchmark",
+           "write_benchmark_json", "check_benchmark_schema"]
+
+BENCH_SCHEMA_VERSION = 1
+
+_PATH_KEYS = ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "batches",
+              "memory_bytes")
+
+
+def _measure_path(serve, batches, batch_mode: str, repeats: int):
+    """Best-of-``repeats`` latency per batch; returns (stats, logits, memory)."""
+    per_batch = []
+    logits = []
+    memory = 0
+    for batch in batches:
+        best = np.inf
+        batch_logits = None
+        for _ in range(repeats + 1):  # one extra pass acts as warm-up
+            out, seconds, mem = serve(batch, batch_mode)
+            if seconds < best:
+                best = seconds
+            batch_logits = out
+            memory = max(memory, mem)
+        per_batch.append(best)
+        logits.append(batch_logits)
+    return TimingStats.from_samples(per_batch), np.vstack(logits), memory
+
+
+def _path_dict(stats: TimingStats, memory: int) -> dict:
+    return {
+        "mean_ms": stats.mean_seconds * 1e3,
+        "p50_ms": stats.p50_seconds * 1e3,
+        "p95_ms": stats.p95_seconds * 1e3,
+        "p99_ms": stats.p99_seconds * 1e3,
+        "batches": stats.repeats,
+        "memory_bytes": int(memory),
+    }
+
+
+def run_serving_benchmark(dataset: str = "pubmed-sim", *,
+                          method: str = "mcond", budget: int | None = None,
+                          seed: int = 0, scale: float = 1.0,
+                          profile: str | None = "quick",
+                          num_requests: int = 48, nodes_per_request: int = 4,
+                          max_batch_size: int = 8, repeats: int = 3,
+                          batch_mode: str = "node",
+                          include_original: bool = False) -> dict:
+    """Run the serving benchmark end to end; returns the JSON-ready dict."""
+    from repro import api  # local import: serving must stay facade-independent
+    from repro.experiments import dataset_budgets
+
+    if budget is None:
+        budget = dataset_budgets(dataset)[-1]
+    bundle = api.deploy(dataset, method, budget, seed=seed, scale=scale,
+                        profile=profile)
+    test_batch = api.evaluation_batch(bundle)
+    requests = split_requests(test_batch, num_requests, nodes_per_request)
+
+    result = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "serving-benchmark",
+        "dataset": dataset,
+        "method": method,
+        "budget": budget,
+        "seed": seed,
+        "scale": scale,
+        "batch_mode": batch_mode,
+        "num_requests": num_requests,
+        "nodes_per_request": nodes_per_request,
+        "max_batch_size": max_batch_size,
+        "repeats": repeats,
+        "deployments": {},
+        "parity": {},
+    }
+
+    result["deployments"]["synthetic"] = _bench_deployment(
+        bundle, requests, batch_mode, max_batch_size, repeats)
+    if include_original:
+        whole = api.deploy(dataset, "whole", seed=seed, scale=scale,
+                           profile=profile)
+        result["deployments"]["original"] = _bench_deployment(
+            whole, requests, batch_mode, max_batch_size, repeats)
+
+    # top-level parity aggregates over every benchmarked deployment, so a
+    # parity break in any path is visible without digging into sections
+    deployments = result["deployments"].values()
+    result["parity"]["cached_bitwise_equal"] = all(
+        d["parity"]["cached_bitwise_equal"] for d in deployments)
+    frozen_diffs = [d["parity"]["frozen_max_abs_diff"] for d in deployments
+                    if "frozen_max_abs_diff" in d["parity"]]
+    if frozen_diffs:
+        result["parity"]["frozen_max_abs_diff"] = max(frozen_diffs)
+    return result
+
+
+def _bench_deployment(bundle, requests, batch_mode: str, max_batch_size: int,
+                      repeats: int) -> dict:
+    from repro.serving.runtime import merge_requests
+
+    prepared = PreparedDeployment.from_bundle(bundle)
+    naive = InductiveServer(bundle.model(), bundle.deployment, bundle.base,
+                            bundle.condensed, use_cache=False)
+
+    # identical micro-batch groups for every path
+    groups = [requests[i:i + max_batch_size]
+              for i in range(0, len(requests), max_batch_size)]
+    batches = [merge_requests([_as_request(r) for r in group])
+               for group in groups]
+
+    uncached_stats, uncached_logits, uncached_memory = _measure_path(
+        naive.serve_batch, batches, batch_mode, repeats)
+    cached_stats, cached_logits, cached_memory = _measure_path(
+        prepared.serve_batch, batches, batch_mode, repeats)
+    parity = {"cached_bitwise_equal": bool(
+        np.array_equal(uncached_logits, cached_logits))}
+
+    paths = {
+        "uncached": _path_dict(uncached_stats, uncached_memory),
+        "cached": _path_dict(cached_stats, cached_memory),
+    }
+    try:
+        frozen_stats, frozen_logits, frozen_memory = _measure_path(
+            prepared.serve_batch_frozen, batches, batch_mode, repeats)
+        paths["frozen"] = _path_dict(frozen_stats, frozen_memory)
+        parity["frozen_max_abs_diff"] = float(
+            np.abs(frozen_logits - uncached_logits).max())
+    except ServingError:
+        pass  # non-linear model: no cached-propagation path
+
+    # closed-loop runtime replay over the same requests
+    runtime = ServingRuntime(prepared, "sizecap", batch_mode=batch_mode,
+                             scheduler_options={"max_batch_size": max_batch_size})
+    replay(runtime, requests)
+    stats = runtime.stats()
+
+    return {
+        "storage_bytes": bundle.storage_bytes(),
+        "paths": paths,
+        "parity": parity,
+        "runtime": stats.as_dict(),
+        "speedup_cached_vs_uncached":
+            uncached_stats.mean_seconds / cached_stats.mean_seconds,
+    }
+
+
+def _as_request(batch):
+    from repro.serving.runtime import Request
+    return Request(features=np.asarray(batch.features, dtype=np.float64),
+                   incremental=batch.incremental.tocsr(),
+                   intra=batch.intra.tocsr())
+
+
+def write_benchmark_json(result: dict, path: str | Path) -> Path:
+    """Persist a benchmark result; returns the written path."""
+    target = Path(path)
+    target.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def check_benchmark_schema(result: dict) -> None:
+    """Validate the benchmark dict's shape; raises ServingError on drift.
+
+    Shared by the test suite and ``repro bench`` itself so the emitted
+    artifact can never silently lose the keys downstream tooling reads.
+    """
+    top = ("schema_version", "kind", "dataset", "method", "budget", "seed",
+           "scale", "batch_mode", "num_requests", "nodes_per_request",
+           "max_batch_size", "repeats", "deployments", "parity")
+    missing = [key for key in top if key not in result]
+    if missing:
+        raise ServingError(f"benchmark result misses keys: {missing}")
+    if result["kind"] != "serving-benchmark":
+        raise ServingError(f"unexpected benchmark kind {result['kind']!r}")
+    if not result["deployments"]:
+        raise ServingError("benchmark result has no deployments")
+    if "cached_bitwise_equal" not in result["parity"]:
+        raise ServingError("benchmark result misses parity.cached_bitwise_equal")
+    for name, deployment in result["deployments"].items():
+        for key in ("storage_bytes", "paths", "parity", "runtime",
+                    "speedup_cached_vs_uncached"):
+            if key not in deployment:
+                raise ServingError(f"deployment {name!r} misses {key!r}")
+        for path_name, path in deployment["paths"].items():
+            path_missing = [key for key in _PATH_KEYS if key not in path]
+            if path_missing:
+                raise ServingError(
+                    f"path {name}.{path_name} misses {path_missing}")
+        runtime_keys = ("requests", "latency_p50_ms", "latency_p95_ms",
+                        "latency_p99_ms", "queue_wait_mean_ms",
+                        "compute_mean_ms", "throughput_rps")
+        runtime_missing = [key for key in runtime_keys
+                           if key not in deployment["runtime"]]
+        if runtime_missing:
+            raise ServingError(
+                f"deployment {name!r} runtime misses {runtime_missing}")

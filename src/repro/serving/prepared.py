@@ -1,0 +1,396 @@
+"""Prepared-deployment cache: everything invariant across serving requests.
+
+:class:`PreparedDeployment` is built once per deployed graph (typically
+from a :class:`repro.api.DeploymentBundle`) and precomputes what the naive
+serving path re-derives on every batch:
+
+- the deployed base block with self-loops already applied, in canonical
+  CSR form, plus its per-row entry counts and scatter positions — so the
+  augmented operator of Eq. (3)/Eq. (11) is assembled by linear-time
+  numpy scatters instead of a COO round-trip (``sp.bmat`` sorts);
+- the base features cast to contiguous float64;
+- the sparse mapping ``M`` (synthetic deployment) and its storage bytes;
+- lazily, the standalone normalized operator of the deployed graph, its
+  K-hop propagated features and base logits (``warm_base``) — the cache
+  behind answering queries about *known* nodes with zero graph work and
+  behind the frozen-base fast path.
+
+Exactness contract
+------------------
+``attach_normalize`` reproduces, bit for bit, what the naive path
+
+    symmetric_normalize(bmat([[base, inc.T], [inc, ea]]))
+
+produces.  Two scipy details make this non-trivial and are deliberately
+mirrored here:
+
+1. ``csr.sum(axis=1)`` is ``np.add.reduceat`` over each row's stored data
+   (pairwise summation), *not* a sequential fold — so degrees must be
+   computed by ``reduceat`` over the merged row data, which requires
+   assembling the merged structure first;
+2. the normalization ``scale @ A @ scale`` multiplies every stored entry
+   as ``(d_i^{-1/2} * a_ij) * d_j^{-1/2}``, which an elementwise scale of
+   the merged data array reproduces exactly.
+
+Because the assembled operator matches the naive one in stored order and
+bit pattern, and model forwards fold in stored order, the served logits
+are bitwise identical — verified by the parity tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import GraphError, InferenceError, ServingError
+from repro.condense.base import CondensedGraph
+from repro.graph.datasets import IncrementalBatch
+from repro.graph.graph import Graph
+from repro.graph.incremental import convert_connections
+from repro.graph.ops import add_self_loops, symmetric_normalize
+from repro.inference.engine import validate_deployment
+from repro.nn.models import GNNModel, SGC
+from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
+from repro.tensor.tensor import Tensor, no_grad
+
+__all__ = ["PreparedDeployment"]
+
+
+def _canonical_csr(matrix, shape: tuple[int, int], name: str) -> sp.csr_matrix:
+    """Coerce to canonical float64 CSR (duplicates summed, sorted indices)."""
+    if matrix is None:
+        return sp.csr_matrix(shape, dtype=np.float64)
+    if sp.issparse(matrix):
+        csr = matrix.tocsr().astype(np.float64)
+    else:
+        csr = sp.csr_matrix(np.asarray(matrix, dtype=np.float64))
+    if csr.shape != shape:
+        raise GraphError(f"{name} has shape {csr.shape}, expected {shape}")
+    csr.sum_duplicates()
+    csr.sort_indices()
+    return csr
+
+
+def _reduceat_row_sums(data: np.ndarray, indptr: np.ndarray,
+                       counts: np.ndarray) -> np.ndarray:
+    """Row sums exactly as ``scipy.sparse.csr_matrix.sum(axis=1)``.
+
+    scipy's ``_minor_reduce`` runs ``np.add.reduceat`` at the start offset
+    of every non-empty row; empty rows stay zero.  Pairwise summation makes
+    this differ (in the last ulp) from a sequential fold, so the benchmark
+    and the naive path must share this exact implementation.
+    """
+    out = np.zeros(counts.shape[0], dtype=np.float64)
+    nonempty = np.flatnonzero(counts)
+    if nonempty.size:
+        out[nonempty] = np.add.reduceat(data, indptr[nonempty])
+    return out
+
+
+def _inv_sqrt(degree: np.ndarray) -> np.ndarray:
+    """``D^{-1/2}`` with zero-degree rows left at zero — the exact masking
+    the naive ``symmetric_normalize`` applies (parity depends on it)."""
+    inv = np.zeros_like(degree)
+    positive = degree > 0
+    inv[positive] = degree[positive] ** -0.5
+    return inv
+
+
+def _csr_storage_bytes(nnz: int, rows: int, cols: int) -> int:
+    """Storage of a CSR matrix as scipy would build it (int32 indices when
+    they fit, which mirrors ``sp.bmat``'s index-dtype choice)."""
+    index_bytes = 4 if max(nnz, rows, cols) < np.iinfo(np.int32).max else 8
+    return nnz * (8 + index_bytes) + (rows + 1) * index_bytes
+
+
+class PreparedDeployment:
+    """Request-invariant serving state for one deployed graph.
+
+    Parameters mirror :class:`repro.inference.engine.InductiveServer`:
+    a trained model, a ``deployment`` kind, and the graph it serves on.
+    """
+
+    def __init__(self, model: GNNModel, deployment: str, base: Graph | None,
+                 condensed: CondensedGraph | None = None) -> None:
+        validate_deployment(deployment, base, condensed)
+        self.model = model
+        self.deployment = deployment
+        self.base = base
+        self.condensed = condensed
+        if deployment == "synthetic":
+            raw = condensed.sparse_adjacency()
+            raw_features = condensed.features
+            self.mapping: sp.csr_matrix | None = condensed.mapping
+        else:
+            raw = base.adjacency.tocsr().astype(np.float64)
+            raw_features = base.features
+            self.mapping = None
+
+        # --- request-invariant precomputation -------------------------
+        raw.sum_duplicates()
+        self._raw_nnz = int(raw.nnz)  # the naive attach keeps explicit zeros
+        self.base_loops = add_self_loops(raw)
+        self.base_loops.sort_indices()
+        self.num_base = int(self.base_loops.shape[0])
+        self._base_counts = np.diff(self.base_loops.indptr)
+        self.base_features = np.ascontiguousarray(raw_features, dtype=np.float64)
+        if self.base_features.shape[0] != self.num_base:
+            raise GraphError(
+                f"base features rows ({self.base_features.shape[0]}) != "
+                f"base nodes ({self.num_base})")
+        self._mapping_bytes = (sparse_memory_bytes(self.mapping)
+                               if self.mapping is not None else 0)
+        self.feature_dim = int(self.base_features.shape[1])
+        # warm-base caches, built on first use (they cost one standalone
+        # forward and are only needed by warm lookups / the frozen path)
+        self._base_operator: sp.csr_matrix | None = None
+        self._propagated: list[np.ndarray] | None = None
+        self._base_logits: np.ndarray | None = None
+        self._frozen_inv_base: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_bundle(cls, bundle) -> "PreparedDeployment":
+        """Prepare a persisted :class:`repro.api.DeploymentBundle`."""
+        return cls(bundle.model(), bundle.deployment, bundle.base,
+                   bundle.condensed)
+
+    # ------------------------------------------------------------------
+    # Exact cached attach + normalize
+    # ------------------------------------------------------------------
+    def attach_normalize(self, incremental, new_features: np.ndarray,
+                         intra=None) -> tuple[sp.csr_matrix, np.ndarray, int]:
+        """``(operator, features, memory_bytes)`` for one batch.
+
+        ``incremental`` is the raw ``(n, N)`` adjacency into the *original*
+        graph; for synthetic deployments it is converted through the
+        mapping (Eq. 11) first.  The operator and stacked features are
+        bit-for-bit equal to normalizing the naive ``bmat`` assembly;
+        ``memory_bytes`` mirrors the naive serving-footprint accounting.
+        """
+        new_feats = np.asarray(new_features, dtype=np.float64)
+        if new_feats.ndim != 2 or new_feats.shape[1] != self.feature_dim:
+            raise GraphError(
+                f"feature dims differ: base {self.feature_dim} vs new "
+                f"{new_feats.shape[1] if new_feats.ndim == 2 else new_feats.shape}")
+        n = new_feats.shape[0]
+        inc = self._converted_incremental(incremental, n)
+        inc_nnz_raw = int(inc.nnz)
+        inc.eliminate_zeros()  # the naive path eliminates after assembly
+        ea_raw = _canonical_csr(intra, (n, n), "intra adjacency")
+        ea_nnz_raw = int(ea_raw.nnz)
+        if n:
+            ea_loops = add_self_loops(ea_raw)
+            ea_loops.sort_indices()
+        else:
+            ea_loops = ea_raw
+        operator = self._assemble_normalized(inc, ea_loops)
+        features = np.vstack([self.base_features, new_feats])
+        memory = self._memory_bytes(n, inc_nnz_raw, ea_nnz_raw,
+                                    features.shape[0])
+        return operator, features, memory
+
+    def _converted_incremental(self, incremental, n: int) -> sp.csr_matrix:
+        if self.mapping is not None:
+            expected = (n, int(self.mapping.shape[0]))
+            if incremental is None:
+                incremental = sp.csr_matrix(expected, dtype=np.float64)
+            elif tuple(incremental.shape) != expected:
+                raise GraphError(
+                    f"incremental adjacency has shape {incremental.shape}, "
+                    f"expected {expected}")
+            # Convert the *raw* matrix: pre-canonicalizing would reorder the
+            # ``a @ M`` accumulation and break bitwise parity with Eq. 11.
+            converted = convert_connections(incremental, self.mapping)
+            converted.sort_indices()
+            return converted
+        return _canonical_csr(incremental, (n, self.num_base),
+                              "incremental adjacency")
+
+    def _assemble_normalized(self, inc: sp.csr_matrix,
+                             ea_loops: sp.csr_matrix) -> sp.csr_matrix:
+        """Merge the four blocks row-wise and scale — no COO sort.
+
+        Per-row layout matches the canonical (column-sorted) order of the
+        naive assembly: base-block columns all precede incremental ones.
+        """
+        B, n = self.num_base, inc.shape[0]
+        total = B + n
+        incT = inc.T.tocsr()
+        incT.sort_indices()
+        counts_bn = np.diff(incT.indptr)
+        counts_nb = np.diff(inc.indptr)
+        counts_nn = np.diff(ea_loops.indptr)
+        row_counts = np.concatenate([self._base_counts + counts_bn,
+                                     counts_nb + counts_nn])
+        indptr = np.zeros(total + 1, dtype=np.int64)
+        np.cumsum(row_counts, out=indptr[1:])
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int64)
+        data = np.empty(nnz, dtype=np.float64)
+
+        def scatter(block: sp.csr_matrix, row_start: int, col_offset: int,
+                    lead: np.ndarray) -> None:
+            if block.nnz == 0:
+                return
+            cnt = np.diff(block.indptr)
+            starts = indptr[row_start:row_start + block.shape[0]] + lead
+            within = (np.arange(block.nnz, dtype=np.int64)
+                      - np.repeat(block.indptr[:-1].astype(np.int64), cnt))
+            dest = within + np.repeat(starts, cnt)
+            indices[dest] = block.indices + col_offset
+            data[dest] = block.data
+
+        scatter(self.base_loops, 0, 0, np.zeros(B, dtype=np.int64))
+        scatter(incT, 0, B, self._base_counts.astype(np.int64))
+        scatter(inc, B, 0, np.zeros(n, dtype=np.int64))
+        scatter(ea_loops, B, B, counts_nb.astype(np.int64))
+
+        degree = _reduceat_row_sums(data, indptr[:-1], row_counts)
+        inv_sqrt = _inv_sqrt(degree)
+        rows = np.repeat(np.arange(total, dtype=np.int64), row_counts)
+        data = (inv_sqrt[rows] * data) * inv_sqrt[indices]
+        operator = sp.csr_matrix((data, indices, indptr), shape=(total, total))
+        operator.has_sorted_indices = True
+        return operator
+
+    def _memory_bytes(self, n: int, inc_nnz: int, ea_nnz: int,
+                      feature_rows: int) -> int:
+        """Serving footprint, matching the naive accounting bit for bit:
+        raw augmented adjacency + features (+ mapping)."""
+        attached_nnz = self._raw_nnz + 2 * inc_nnz + ea_nnz
+        total = self.num_base + n
+        memory = _csr_storage_bytes(attached_nnz, total, total)
+        memory += feature_rows * self.feature_dim * 8
+        return memory + self._mapping_bytes
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def serve_batch(self, batch: IncrementalBatch,
+                    batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
+        """Serve one batch; returns ``(logits, seconds, memory_bytes)``.
+
+        Same contract — and bitwise the same logits — as
+        :meth:`repro.inference.engine.InductiveServer.serve_batch`.
+        """
+        if batch_mode not in ("graph", "node"):
+            raise InferenceError(
+                f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
+        self.model.eval()
+        start = time.perf_counter()
+        intra = batch.intra if batch_mode == "graph" else None
+        operator, features, memory = self.attach_normalize(
+            batch.incremental, batch.features, intra)
+        with no_grad():
+            logits = self.model(operator, Tensor(features))
+        inductive = logits.data[self.num_base:]
+        elapsed = time.perf_counter() - start
+        return inductive, elapsed, memory
+
+    # ------------------------------------------------------------------
+    # Warm base cache (standalone graph, no inductive nodes)
+    # ------------------------------------------------------------------
+    def base_operator(self) -> sp.csr_matrix:
+        """Standalone normalized operator of the deployed graph."""
+        if self._base_operator is None:
+            self._base_operator = symmetric_normalize(self.base_loops,
+                                                      self_loops=False)
+        return self._base_operator
+
+    def warm_base(self) -> np.ndarray:
+        """Logits of the deployed (known) nodes, computed once and cached.
+
+        This is the zero-graph-work answer for requests about nodes the
+        deployment already contains.
+        """
+        if self._base_logits is None:
+            self.model.eval()
+            with no_grad():
+                out = self.model(self.base_operator(),
+                                 Tensor(self.base_features))
+            self._base_logits = out.data
+        return self._base_logits
+
+    def propagated_base_features(self) -> list[np.ndarray]:
+        """``[X, ÂX, Â²X, ...]`` under the *standalone* normalization.
+
+        Only defined for SGC-style linear propagation; this feeds the
+        frozen-base fast path where per-request work touches nothing but
+        the incremental rows.
+        """
+        if not isinstance(self.model, SGC):
+            raise ServingError(
+                "propagated-feature caching needs linear propagation (SGC); "
+                f"got {type(self.model).__name__}")
+        if self._propagated is None:
+            operator = self.base_operator()
+            hops = [self.base_features]
+            for _ in range(self.model.k_hops):
+                hops.append(np.asarray(operator @ hops[-1]))
+            self._propagated = hops
+        return self._propagated
+
+    def _standalone_inv_sqrt_degrees(self) -> np.ndarray:
+        """``D^{-1/2}`` of the standalone base graph — request-invariant,
+        computed once for the frozen path."""
+        if self._frozen_inv_base is None:
+            degree = np.asarray(self.base_loops.sum(axis=1)).reshape(-1)
+            self._frozen_inv_base = _inv_sqrt(degree)
+        return self._frozen_inv_base
+
+    def serve_batch_frozen(self, batch: IncrementalBatch,
+                           batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
+        """Fast approximate serve: per-request work on incremental rows only.
+
+        Freezes the base-block normalization at its standalone value (the
+        classic serving approximation: arriving nodes read from the base
+        graph but do not perturb it), so the cached propagated features
+        substitute for the base-row forward.  Logits are close to — but
+        not bitwise equal to — :meth:`serve_batch`; the exact path stays
+        the default.
+        """
+        if batch_mode not in ("graph", "node"):
+            raise InferenceError(
+                f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
+        hops = self.propagated_base_features()  # validates the model too
+        self.model.eval()
+        start = time.perf_counter()
+        new_feats = np.asarray(batch.features, dtype=np.float64)
+        n = new_feats.shape[0]
+        inc = self._converted_incremental(batch.incremental, n)
+        inc_nnz_raw = int(inc.nnz)  # before elimination, like attach_normalize
+        inc.eliminate_zeros()
+        intra = batch.intra if batch_mode == "graph" else None
+        ea_raw = _canonical_csr(intra, (n, n), "intra adjacency")
+        ea_loops = add_self_loops(ea_raw) if n else ea_raw
+
+        # degrees of the *new* rows only; base rows keep standalone scaling
+        deg_new = (np.asarray(inc.sum(axis=1)).reshape(-1)
+                   + np.asarray(ea_loops.sum(axis=1)).reshape(-1))
+        inv_new = _inv_sqrt(deg_new)
+        inv_base = self._standalone_inv_sqrt_degrees()
+
+        rows_nb = np.repeat(np.arange(n), np.diff(inc.indptr))
+        op_nb = inc.copy()
+        op_nb.data = (inv_new[rows_nb] * inc.data) * inv_base[inc.indices]
+        rows_nn = np.repeat(np.arange(n), np.diff(ea_loops.indptr))
+        op_nn = ea_loops.copy()
+        op_nn.data = (inv_new[rows_nn] * ea_loops.data) * inv_new[ea_loops.indices]
+
+        h = new_feats
+        for k in range(self.model.k_hops):
+            h = op_nb @ hops[k] + op_nn @ h
+        with no_grad():
+            logits = self.model.classifier(Tensor(h))
+        elapsed = time.perf_counter() - start
+        memory = self._memory_bytes(n, inc_nnz_raw, int(ea_raw.nnz),
+                                    self.num_base + n)
+        return logits.data, elapsed, memory
+
+    def __repr__(self) -> str:
+        return (f"PreparedDeployment(deployment={self.deployment!r}, "
+                f"base_nodes={self.num_base}, "
+                f"model={type(self.model).__name__})")

@@ -1,0 +1,351 @@
+"""The long-lived online serving runtime.
+
+``ServingRuntime`` turns the one-shot inference engine into a service:
+requests (single inductive nodes or small node groups) are admitted
+through a :class:`~repro.serving.queue.BoundedRequestQueue`, coalesced by
+a pluggable micro-batch scheduler into one attach+normalize+forward pass
+over the :class:`~repro.serving.prepared.PreparedDeployment` cache, and
+answered through futures carrying per-request latency accounting.
+
+Two execution modes share the same batching/serving code path:
+
+- **threaded** (``start()``/``stop()`` or the context manager) — a
+  background serving loop drains the queue while producers submit
+  concurrently; this is the open-loop deployment shape.
+- **stepped** (``step()``) — the caller drives the loop synchronously,
+  one micro-batch per call; this is the deterministic shape used by the
+  parity tests and the closed-loop benchmark.
+
+Requests coalesced into one micro-batch are merged with
+:func:`merge_requests`; the served logits are bitwise identical to
+serving the merged batch through ``InductiveServer`` directly (parity
+tests assert this for both deployments and both batch modes).  Note the
+guarantee is *per merged batch*: as with any serving batch size in this
+engine, which requests share a batch affects the augmented graph's
+degrees and therefore the logits slightly — under the threaded loop,
+batch composition depends on arrival timing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import InferenceError, ServingError
+from repro.graph.datasets import IncrementalBatch
+from repro.registry import make_scheduler
+from repro.serving.prepared import PreparedDeployment
+from repro.serving.queue import BoundedRequestQueue, QueueFullError
+from repro.serving.scheduler import MicroBatchScheduler
+from repro.serving.stats import LatencyAccounting, RequestRecord, RuntimeStats
+
+__all__ = ["ServingRuntime", "ServingFuture", "Request", "merge_requests"]
+
+
+class ServingFuture:
+    """Completion handle for one submitted request."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._logits: np.ndarray | None = None
+        self._record: RequestRecord | None = None
+        self._error: BaseException | None = None
+
+    # -- runtime side ---------------------------------------------------
+    def _resolve(self, logits: np.ndarray, record: RequestRecord) -> None:
+        self._logits = logits
+        self._record = record
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    # -- caller side ----------------------------------------------------
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """Logits of this request's nodes; raises the serving error if any."""
+        if not self._done.wait(timeout=timeout):
+            raise ServingError(f"request not completed within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._logits
+
+    @property
+    def record(self) -> RequestRecord | None:
+        """Latency accounting, available once the request completed."""
+        return self._record
+
+
+@dataclass
+class Request:
+    """One admitted request: ``n >= 1`` inductive nodes with connectivity."""
+
+    features: np.ndarray
+    incremental: sp.csr_matrix
+    intra: sp.csr_matrix
+    future: ServingFuture = field(default_factory=ServingFuture)
+    enqueued_at: float = 0.0
+
+    @property
+    def num_nodes(self) -> int:
+        return self.features.shape[0]
+
+
+def merge_requests(requests: list[Request]) -> IncrementalBatch:
+    """Coalesce requests into one batch (cross-request intra edges are
+    zero — independently arriving requests share no known edges)."""
+    features = np.vstack([r.features for r in requests])
+    incremental = sp.vstack([r.incremental for r in requests]).tocsr()
+    intra = sp.block_diag([r.intra for r in requests]).tocsr()
+    labels = np.full(features.shape[0], -1, dtype=np.int64)
+    return IncrementalBatch(features=features, incremental=incremental,
+                            intra=intra, labels=labels)
+
+
+class ServingRuntime:
+    """Serve a stream of inductive requests against one prepared deployment.
+
+    Parameters
+    ----------
+    prepared:
+        The request-invariant cache (build via
+        ``PreparedDeployment.from_bundle`` or :func:`repro.api.open_runtime`).
+    scheduler:
+        A :class:`~repro.serving.scheduler.MicroBatchScheduler`, or a
+        registry key of :data:`repro.registry.SCHEDULERS`.
+    batch_mode:
+        ``"graph"`` (requests may carry intra edges) or ``"node"``.
+    queue_capacity / overflow:
+        Bounded admission queue configuration; see
+        :class:`~repro.serving.queue.BoundedRequestQueue`.
+    precision:
+        ``"exact"`` (default — bitwise-parity path) or ``"frozen"`` (the
+        cached-propagation approximation; SGC only).
+    """
+
+    def __init__(self, prepared: PreparedDeployment,
+                 scheduler: MicroBatchScheduler | str = "microbatch",
+                 *, batch_mode: str = "graph", queue_capacity: int = 1024,
+                 overflow: str = "block", precision: str = "exact",
+                 scheduler_options: dict | None = None) -> None:
+        if batch_mode not in ("graph", "node"):
+            raise InferenceError(
+                f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
+        if precision not in ("exact", "frozen"):
+            raise ServingError(
+                f"precision must be 'exact' or 'frozen', got {precision!r}")
+        self.prepared = prepared
+        if isinstance(scheduler, str):
+            scheduler = make_scheduler(scheduler, **(scheduler_options or {}))
+        self.scheduler = scheduler
+        self.batch_mode = batch_mode
+        self.precision = precision
+        if precision == "frozen":
+            prepared.propagated_base_features()  # validate model support early
+        self.queue = BoundedRequestQueue(queue_capacity, overflow)
+        self.accounting = LatencyAccounting()
+        self._serve_lock = threading.Lock()
+        self._thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._original_columns = (
+            int(prepared.mapping.shape[0]) if prepared.mapping is not None
+            else prepared.num_base)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, features, incremental, intra=None,
+               timeout: float | None = None) -> ServingFuture:
+        """Admit one request; returns its :class:`ServingFuture`.
+
+        ``features`` is ``(n, d)`` (or ``(d,)`` for a single node),
+        ``incremental`` the ``(n, N)`` connections into the original
+        graph, ``intra`` the optional ``(n, n)`` edges among the
+        request's own nodes.
+        """
+        request = self._build_request(features, incremental, intra)
+        request.enqueued_at = time.perf_counter()
+        try:
+            evicted = self.queue.put(request, timeout=timeout)
+        except QueueFullError:
+            self.accounting.observe_rejection()
+            request.future._fail(ServingError(
+                "request rejected: serving queue is full"))
+            return request.future
+        if evicted is not None:
+            self.accounting.observe_rejection()
+            evicted.future._fail(ServingError(
+                "request dropped: evicted by a newer arrival (drop_oldest)"))
+        return request.future
+
+    def submit_batch(self, batch: IncrementalBatch,
+                     timeout: float | None = None) -> ServingFuture:
+        """Admit a pre-assembled :class:`IncrementalBatch` as one request."""
+        return self.submit(batch.features, batch.incremental, batch.intra,
+                           timeout=timeout)
+
+    def _build_request(self, features, incremental, intra) -> Request:
+        feats = np.asarray(features, dtype=np.float64)
+        if feats.ndim == 1:
+            feats = feats[None, :]
+        if feats.ndim != 2 or feats.shape[0] == 0:
+            raise ServingError(
+                f"request features must be (n >= 1, d), got {feats.shape}")
+        if feats.shape[1] != self.prepared.feature_dim:
+            # reject at admission: inside a coalesced batch this would fail
+            # every co-batched request instead of just the malformed one
+            raise ServingError(
+                f"request feature dim {feats.shape[1]} != deployment "
+                f"feature dim {self.prepared.feature_dim}")
+        n = feats.shape[0]
+        if sp.issparse(incremental):
+            inc = incremental.tocsr().astype(np.float64)
+        else:
+            inc = sp.csr_matrix(
+                np.atleast_2d(np.asarray(incremental, dtype=np.float64)))
+        if inc.shape != (n, self._original_columns):
+            raise ServingError(
+                f"incremental adjacency has shape {inc.shape}, expected "
+                f"({n}, {self._original_columns})")
+        if intra is None:
+            ea = sp.csr_matrix((n, n), dtype=np.float64)
+        elif sp.issparse(intra):
+            ea = intra.tocsr().astype(np.float64)
+        else:
+            ea = sp.csr_matrix(np.asarray(intra, dtype=np.float64))
+        if ea.shape != (n, n):
+            raise ServingError(
+                f"intra adjacency has shape {ea.shape}, expected ({n}, {n})")
+        return Request(features=feats, incremental=inc, intra=ea)
+
+    # ------------------------------------------------------------------
+    # Serving loop
+    # ------------------------------------------------------------------
+    def step(self, timeout: float | None = 0.0) -> int:
+        """Form and serve one micro-batch synchronously.
+
+        Returns the number of requests served (0 when the queue stayed
+        empty for ``timeout`` seconds).  This is the deterministic
+        entrypoint used by tests and the closed-loop benchmark.
+        """
+        with self._serve_lock:
+            batch = self._collect(timeout)
+            if not batch:
+                return 0
+            self._execute(batch)
+            return len(batch)
+
+    def run_pending(self) -> int:
+        """Serve until the queue is empty; returns requests served."""
+        total = 0
+        while True:
+            served = self.step(timeout=0.0)
+            if served == 0:
+                return total
+            total += served
+
+    def _collect(self, timeout: float | None) -> list[Request]:
+        first = self.queue.get(timeout=timeout)
+        if first is None:
+            return []
+        batch = [first]
+        deadline = self.scheduler.deadline(first.enqueued_at)
+        while not self.scheduler.full(len(batch)):
+            remaining = deadline - time.perf_counter()
+            if remaining > 0:
+                nxt = self.queue.get(timeout=remaining)
+            else:
+                nxt = self.queue.get_nowait()
+            if nxt is None:
+                break
+            batch.append(nxt)
+        return batch
+
+    def _execute(self, requests: list[Request]) -> None:
+        started = time.perf_counter()
+        try:
+            merged = merge_requests(requests)
+            if self.precision == "frozen":
+                logits, compute_seconds, _ = self.prepared.serve_batch_frozen(
+                    merged, self.batch_mode)
+            else:
+                logits, compute_seconds, _ = self.prepared.serve_batch(
+                    merged, self.batch_mode)
+        except Exception as error:  # noqa: BLE001 — forwarded to futures
+            for request in requests:
+                request.future._fail(error)
+            self.accounting.observe_failure(len(requests))
+            return
+        finished = time.perf_counter()
+        records = []
+        offset = 0
+        for request in requests:
+            rows = logits[offset:offset + request.num_nodes]
+            offset += request.num_nodes
+            record = RequestRecord(
+                num_nodes=request.num_nodes,
+                queue_seconds=max(started - request.enqueued_at, 0.0),
+                compute_seconds=compute_seconds,
+                batch_size=len(requests))
+            records.append(record)
+            request.future._resolve(rows, record)
+        self.accounting.observe_batch(records, started, finished)
+
+    # ------------------------------------------------------------------
+    # Lifecycle (threaded mode)
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingRuntime":
+        """Start the background serving loop (idempotent)."""
+        if self.queue.closed:
+            raise ServingError(
+                "runtime was stopped and its queue closed; "
+                "open a fresh runtime instead of restarting this one")
+        if self._thread is not None and self._thread.is_alive():
+            return self
+        self._stopping.clear()
+        self._thread = threading.Thread(target=self._serve_forever,
+                                        name="repro-serving", daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve_forever(self) -> None:
+        while not self._stopping.is_set():
+            self.step(timeout=0.05)
+        self.run_pending()  # drain what was admitted before shutdown
+
+    def stop(self, drain: bool = True) -> None:
+        """Close admissions and stop the loop; drains the queue by default."""
+        self.queue.close()
+        self._stopping.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        if drain:
+            self.run_pending()
+
+    def __enter__(self) -> "ServingRuntime":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        """Aggregated latency/throughput accounting so far."""
+        return self.accounting.summary()
+
+    def warm_base(self) -> np.ndarray:
+        """Cached logits for the deployed (known) nodes."""
+        return self.prepared.warm_base()
+
+    def __repr__(self) -> str:
+        return (f"ServingRuntime({self.prepared!r}, "
+                f"scheduler={self.scheduler!r}, batch_mode={self.batch_mode!r}, "
+                f"precision={self.precision!r}, pending={len(self.queue)})")

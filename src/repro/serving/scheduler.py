@@ -1,0 +1,91 @@
+"""Micro-batch schedulers: when to stop collecting and fire a batch.
+
+A scheduler decides, given the request at the head of the queue, how many
+more requests to coalesce into the same attach+normalize+forward pass.
+Coalescing amortizes the per-pass fixed costs (operator assembly, python
+dispatch, BLAS call overhead) across requests at the price of queueing
+delay — the classic throughput/latency dial, here exposed as
+``max_batch_size`` × ``max_wait_ms``.
+
+Schedulers are pluggable through :data:`repro.registry.SCHEDULERS`; the
+runtime resolves them by name, so a deployment can swap policies without
+touching serving code.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServingError
+from repro.registry import register_scheduler
+
+__all__ = ["MicroBatchScheduler", "ImmediateScheduler", "SizeCapScheduler"]
+
+
+class MicroBatchScheduler:
+    """Coalesce up to ``max_batch_size`` requests or until ``max_wait_ms``.
+
+    ``deadline(first_enqueue)`` tells the runtime how long it may keep
+    waiting for companions of the batch's first request; ``full(count)``
+    caps the batch size.  ``max_wait_ms=0`` disables waiting (each batch
+    takes only what is already queued).
+    """
+
+    def __init__(self, max_batch_size: int = 32,
+                 max_wait_ms: float = 2.0) -> None:
+        if max_batch_size <= 0:
+            raise ServingError(
+                f"max_batch_size must be positive, got {max_batch_size}")
+        if max_wait_ms < 0:
+            raise ServingError(
+                f"max_wait_ms must be non-negative, got {max_wait_ms}")
+        self.max_batch_size = max_batch_size
+        self.max_wait_ms = max_wait_ms
+
+    def full(self, count: int) -> bool:
+        return count >= self.max_batch_size
+
+    def deadline(self, first_enqueue: float) -> float:
+        """Latest time (perf_counter seconds) the batch may keep filling."""
+        return first_enqueue + self.max_wait_ms / 1e3
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(max_batch_size={self.max_batch_size}, "
+                f"max_wait_ms={self.max_wait_ms})")
+
+
+class ImmediateScheduler(MicroBatchScheduler):
+    """No coalescing: every request is its own batch (latency-first)."""
+
+    def __init__(self) -> None:
+        super().__init__(max_batch_size=1, max_wait_ms=0.0)
+
+
+class SizeCapScheduler(MicroBatchScheduler):
+    """Coalesce whatever is queued, up to a size cap, without waiting.
+
+    The throughput-first policy for closed-loop replays: it never trades
+    extra queueing delay for batch fill, but drains bursts in one pass.
+    """
+
+    def __init__(self, max_batch_size: int = 128) -> None:
+        super().__init__(max_batch_size=max_batch_size, max_wait_ms=0.0)
+
+
+@register_scheduler("microbatch",
+                    description="coalesce up to max-batch-size requests or "
+                                "max-wait-ms, whichever first (default)")
+def _microbatch(max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                **_ignored) -> MicroBatchScheduler:
+    return MicroBatchScheduler(max_batch_size, max_wait_ms)
+
+
+@register_scheduler("immediate",
+                    description="serve each request alone (latency-first)")
+def _immediate(**_ignored) -> ImmediateScheduler:
+    return ImmediateScheduler()
+
+
+@register_scheduler("sizecap",
+                    description="drain whatever is queued up to a size cap, "
+                                "never wait (throughput-first)")
+def _sizecap(max_batch_size: int = 128, **_ignored) -> SizeCapScheduler:
+    return SizeCapScheduler(max_batch_size)

@@ -130,3 +130,73 @@ class TestAttachSynthetic:
         attached = attach_to_synthetic(np.zeros((2, 2)), np.zeros((2, 3)),
                                        inc, np.zeros((1, 3)), mapping)
         assert attached.adjacency.toarray()[2, 1] == 1.0
+
+
+class TestEdgeCases:
+    """Empty batches, isolated nodes, and non-CSR inputs."""
+
+    def test_empty_batch_original(self, base):
+        adjacency, features = base
+        attached = attach_to_original(adjacency, features,
+                                      sp.csr_matrix((0, 3)), np.zeros((0, 2)))
+        assert attached.num_new == 0
+        assert attached.num_nodes == 3
+        assert np.allclose(attached.adjacency.toarray(), adjacency.toarray())
+        assert attached.inductive_indices().size == 0
+
+    def test_empty_batch_synthetic(self):
+        attached = attach_to_synthetic(
+            np.zeros((2, 2)), np.zeros((2, 3)), sp.csr_matrix((0, 4)),
+            np.zeros((0, 3)), np.ones((4, 2)))
+        assert attached.num_new == 0
+        assert attached.adjacency.shape == (2, 2)
+
+    def test_zero_connection_nodes(self, base):
+        # arrivals with no edges into the base graph stay isolated but
+        # still get rows/features in the augmented graph
+        adjacency, features = base
+        attached = attach_to_original(adjacency, features,
+                                      sp.csr_matrix(np.zeros((2, 3))),
+                                      np.ones((2, 2)))
+        dense = attached.adjacency.toarray()
+        assert not dense[3:, :].any() and not dense[:, 3:].any()
+        assert attached.features.shape == (5, 2)
+
+    def test_zero_connection_through_mapping(self):
+        converted = convert_connections(sp.csr_matrix((2, 3)), np.ones((3, 2)))
+        assert converted.shape == (2, 2)
+        assert converted.nnz == 0
+
+    @pytest.mark.parametrize("wrap", (sp.coo_matrix, sp.csc_matrix,
+                                      np.asarray, lambda m: m.tolist()))
+    def test_non_csr_incremental_accepted(self, base, wrap):
+        adjacency, features = base
+        inc = wrap(np.array([[1.0, 0.0, 0.0]]))
+        attached = attach_to_original(adjacency, features, inc,
+                                      np.ones((1, 2)))
+        assert attached.adjacency[3, 0] == 1.0
+
+    @pytest.mark.parametrize("wrap", (sp.coo_matrix, sp.csc_matrix,
+                                      np.asarray))
+    def test_non_csr_convert_inputs(self, wrap):
+        inc = wrap(np.array([[1.0, 1.0, 0.0]]))
+        mapping = wrap(np.array([[1.0, 0.0], [0.0, 1.0], [0.0, 0.0]]))
+        converted = convert_connections(inc, mapping)
+        assert isinstance(converted, sp.csr_matrix)
+        assert np.allclose(converted.toarray(), [[1.0, 1.0]])
+
+    def test_sparse_mapping_shape_mismatch_is_graph_error(self):
+        # regression: the sparse-mapping path used to leak scipy's raw
+        # ValueError instead of the library's GraphError
+        with pytest.raises(GraphError):
+            convert_connections(sp.csr_matrix(np.zeros((1, 3))),
+                                sp.csr_matrix(np.zeros((2, 2))))
+
+    def test_empty_batch_serves_through_attach(self, base):
+        # the augmented graph of an empty batch still normalizes and serves
+        from repro.graph.ops import symmetric_normalize
+        adjacency, features = base
+        attached = attach_to_original(adjacency, features,
+                                      sp.csr_matrix((0, 3)), np.zeros((0, 2)))
+        operator = symmetric_normalize(attached.adjacency)
+        assert operator.shape == (3, 3)

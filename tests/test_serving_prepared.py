@@ -1,0 +1,203 @@
+"""PreparedDeployment: bitwise parity with the naive serving path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError, InferenceError, ServingError
+from repro.graph.datasets import IncrementalBatch
+from repro.graph.graph import Graph
+from repro.inference import InductiveServer
+from repro.nn import make_model
+from repro.serving import PreparedDeployment
+
+
+@pytest.fixture(scope="module")
+def split():
+    from repro.graph import load_dataset
+    return load_dataset("tiny-sim", seed=7)
+
+
+@pytest.fixture(scope="module")
+def condensed(split):
+    from repro.condense import MCondConfig, MCondReducer
+    config = MCondConfig(outer_loops=1, match_steps=3, mapping_steps=5,
+                        adjacency_pretrain_steps=30, seed=3)
+    return MCondReducer(config).reduce(split, 9)
+
+
+@pytest.fixture(scope="module")
+def sgc(split):
+    return make_model("sgc", split.original.feature_dim, split.num_classes,
+                      seed=0)
+
+
+def _servers(model, deployment, split, condensed):
+    base = split.original if deployment == "original" else None
+    cond = condensed if deployment == "synthetic" else None
+    naive = InductiveServer(model, deployment, base, cond, use_cache=False)
+    cached = InductiveServer(model, deployment, base, cond)
+    return naive, cached
+
+
+class TestBitwiseParity:
+    @pytest.mark.parametrize("deployment", ("original", "synthetic"))
+    @pytest.mark.parametrize("batch_mode", ("graph", "node"))
+    def test_serve_batch_parity(self, sgc, split, condensed, deployment,
+                                batch_mode):
+        naive, cached = _servers(sgc, deployment, split, condensed)
+        batch = split.incremental_batch("test")
+        logits_naive, _, memory_naive = naive.serve_batch(batch, batch_mode)
+        logits_cached, _, memory_cached = cached.serve_batch(batch, batch_mode)
+        assert np.array_equal(logits_naive, logits_cached)  # exact, not close
+        assert memory_naive == memory_cached
+
+    @pytest.mark.parametrize("deployment", ("original", "synthetic"))
+    def test_minibatched_run_parity(self, sgc, split, condensed, deployment):
+        naive, cached = _servers(sgc, deployment, split, condensed)
+        batch = split.incremental_batch("test")
+        report_naive = naive.run(batch, batch_size=16, batch_mode="graph")
+        report_cached = cached.run(batch, batch_size=16, batch_mode="graph")
+        assert np.array_equal(report_naive.logits, report_cached.logits)
+        assert report_naive.accuracy == report_cached.accuracy
+        assert report_naive.memory_bytes == report_cached.memory_bytes
+
+    @pytest.mark.parametrize("model_name", ("gcn", "appnp"))
+    def test_parity_across_architectures(self, split, condensed, model_name):
+        model = make_model(model_name, split.original.feature_dim,
+                           split.num_classes, seed=1)
+        naive, cached = _servers(model, "synthetic", split, condensed)
+        batch = split.incremental_batch("val")
+        logits_naive, _, _ = naive.serve_batch(batch, "graph")
+        logits_cached, _, _ = cached.serve_batch(batch, "graph")
+        assert np.array_equal(logits_naive, logits_cached)
+
+    def test_parity_on_weighted_base(self, rng):
+        # Weighted adjacencies exercise the float summation-order traps
+        # (pairwise reduceat degrees, scale multiplication order).
+        n = 40
+        dense = rng.random((n, n)) * (rng.random((n, n)) < 0.2)
+        adjacency = sp.csr_matrix(np.maximum(dense, dense.T))
+        features = rng.normal(size=(n, 5))
+        base = Graph(adjacency, features, rng.integers(0, 2, size=n))
+        model = make_model("sgc", 5, 2, seed=0)
+        batch = IncrementalBatch(
+            features=rng.normal(size=(7, 5)),
+            incremental=sp.csr_matrix(
+                rng.random((7, n)) * (rng.random((7, n)) < 0.3)),
+            intra=sp.csr_matrix(np.zeros((7, 7))),
+            labels=np.zeros(7, dtype=np.int64))
+        naive = InductiveServer(model, "original", base, use_cache=False)
+        cached = InductiveServer(model, "original", base)
+        for mode in ("graph", "node"):
+            logits_naive, _, mem_naive = naive.serve_batch(batch, mode)
+            logits_cached, _, mem_cached = cached.serve_batch(batch, mode)
+            assert np.array_equal(logits_naive, logits_cached)
+            assert mem_naive == mem_cached
+
+    def test_operator_matches_naive_structure(self, split, sgc):
+        from repro.graph.ops import symmetric_normalize
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        batch = split.incremental_batch("val")
+        operator, features, _ = prepared.attach_normalize(
+            batch.incremental, batch.features, batch.intra)
+        naive = InductiveServer(sgc, "original", split.original,
+                                use_cache=False)
+        attached = naive.attach(batch, "graph")
+        expected = symmetric_normalize(attached.adjacency)
+        assert np.array_equal(expected.indptr, operator.indptr)
+        assert np.array_equal(expected.indices, operator.indices)
+        assert np.array_equal(expected.data, operator.data)
+        assert np.array_equal(attached.features, features)
+
+
+class TestFrozenPath:
+    def test_isolated_request_is_exact(self, split, sgc):
+        # A request with no connections at all leaves the base degrees
+        # untouched, so the frozen approximation collapses to the exact path.
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        n_base = split.original.num_nodes
+        batch = IncrementalBatch(
+            features=np.random.default_rng(0).normal(
+                size=(3, split.original.feature_dim)),
+            incremental=sp.csr_matrix((3, n_base)),
+            intra=sp.csr_matrix((3, 3)),
+            labels=np.zeros(3, dtype=np.int64))
+        exact, _, _ = prepared.serve_batch(batch, "node")
+        frozen, _, _ = prepared.serve_batch_frozen(batch, "node")
+        assert np.array_equal(exact, frozen)
+
+    def test_small_request_is_close(self, split, sgc):
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        batch = split.incremental_batch("test").subset(np.arange(2))
+        exact, _, _ = prepared.serve_batch(batch, "node")
+        frozen, _, _ = prepared.serve_batch_frozen(batch, "node")
+        # The approximation ignores how arrivals renormalize their base
+        # neighbourhood — on a 180-node graph that costs tens of percent,
+        # not orders of magnitude.  Assert same scale, bounded error.
+        rel = (np.linalg.norm(exact - frozen)
+               / max(np.linalg.norm(exact), 1e-12))
+        assert rel < 0.5
+
+    def test_propagated_features_cached_and_hop_count(self, split, sgc):
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        hops = prepared.propagated_base_features()
+        assert len(hops) == sgc.k_hops + 1
+        assert np.array_equal(hops[0], prepared.base_features)
+        assert prepared.propagated_base_features() is hops  # cached
+
+    def test_requires_linear_propagation(self, split):
+        gcn = make_model("gcn", split.original.feature_dim,
+                         split.num_classes, seed=0)
+        prepared = PreparedDeployment(gcn, "original", split.original)
+        with pytest.raises(ServingError):
+            prepared.propagated_base_features()
+
+
+class TestWarmBase:
+    def test_matches_standalone_forward(self, split, sgc):
+        from repro.tensor.tensor import Tensor, no_grad
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        warm = prepared.warm_base()
+        sgc.eval()
+        with no_grad():
+            expected = sgc(prepared.base_operator(),
+                           Tensor(prepared.base_features)).data
+        assert np.array_equal(warm, expected)
+        assert prepared.warm_base() is warm  # computed once
+
+
+class TestValidation:
+    def test_unknown_deployment(self, split, sgc):
+        with pytest.raises(InferenceError):
+            PreparedDeployment(sgc, "edge", split.original)
+
+    def test_synthetic_requires_condensed(self, sgc):
+        with pytest.raises(InferenceError):
+            PreparedDeployment(sgc, "synthetic", None)
+
+    def test_original_requires_base(self, sgc):
+        with pytest.raises(InferenceError):
+            PreparedDeployment(sgc, "original", None)
+
+    def test_feature_dim_mismatch(self, split, sgc):
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        with pytest.raises(GraphError):
+            prepared.attach_normalize(
+                sp.csr_matrix((1, split.original.num_nodes)),
+                np.zeros((1, split.original.feature_dim + 2)))
+
+    def test_incremental_shape_mismatch(self, split, sgc):
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        with pytest.raises(GraphError):
+            prepared.attach_normalize(
+                sp.csr_matrix((1, 5)),
+                np.zeros((1, split.original.feature_dim)))
+
+    def test_bad_batch_mode(self, split, sgc, condensed):
+        prepared = PreparedDeployment(sgc, "original", split.original)
+        batch = split.incremental_batch("val")
+        with pytest.raises(InferenceError):
+            prepared.serve_batch(batch, "stream")

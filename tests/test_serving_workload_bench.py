@@ -1,0 +1,164 @@
+"""Workload generators and the serving-latency benchmark."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import InferenceError, ServingError
+from repro.inference import TimingStats, time_callable
+from repro.inference.benchmark import latency_percentiles
+from repro.registry import WORKLOADS, make_workload
+from repro.serving import (
+    BurstyWorkload,
+    PoissonWorkload,
+    RampWorkload,
+    check_benchmark_schema,
+    run_serving_benchmark,
+    split_requests,
+    write_benchmark_json,
+)
+
+
+class TestWorkloads:
+    def test_registry_entries(self):
+        for name in ("poisson", "bursty", "ramp"):
+            assert name in WORKLOADS
+
+    def test_arrivals_deterministic_and_increasing(self):
+        workload = PoissonWorkload(rate=100.0)
+        first = workload.arrivals(50, 123)
+        second = workload.arrivals(50, 123)
+        assert np.array_equal(first, second)
+        assert (np.diff(first) > 0).all()
+
+    def test_poisson_rate_matches(self):
+        workload = PoissonWorkload(rate=200.0)
+        arrivals = workload.arrivals(4000, np.random.default_rng(0))
+        mean_gap = float(np.diff(arrivals).mean())
+        assert mean_gap == pytest.approx(1.0 / 200.0, rel=0.1)
+
+    def test_bursty_phases(self):
+        workload = BurstyWorkload(base_rate=10.0, burst_rate=100.0,
+                                  period_s=1.0, duty=0.25)
+        assert workload.rate_at(0.1) == 100.0
+        assert workload.rate_at(0.5) == 10.0
+        assert workload.rate_at(1.1) == 100.0
+
+    def test_ramp_endpoints(self):
+        workload = RampWorkload(start_rate=10.0, end_rate=110.0,
+                                duration_s=2.0)
+        assert workload.rate_at(0.0) == 10.0
+        assert workload.rate_at(1.0) == pytest.approx(60.0)
+        assert workload.rate_at(5.0) == 110.0
+
+    def test_factory_kwargs(self):
+        workload = make_workload("bursty", base_rate=5.0, burst_rate=50.0)
+        assert isinstance(workload, BurstyWorkload)
+        assert workload.base_rate == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            PoissonWorkload(rate=0.0)
+        with pytest.raises(ServingError):
+            BurstyWorkload(duty=1.5)
+        with pytest.raises(ServingError):
+            RampWorkload(duration_s=0.0)
+        with pytest.raises(ServingError):
+            PoissonWorkload(rate=5.0).arrivals(-1)
+
+
+class TestSplitRequests:
+    def test_cycles_when_stream_longer_than_batch(self, tiny_split):
+        batch = tiny_split.incremental_batch("val")
+        stream = split_requests(batch, batch.num_nodes + 3, 1)
+        assert len(stream) == batch.num_nodes + 3
+        assert np.array_equal(stream[0].features,
+                              stream[batch.num_nodes].features)
+
+    def test_request_sizes(self, tiny_split):
+        stream = split_requests(tiny_split.incremental_batch("val"), 4, 3)
+        assert all(request.num_nodes == 3 for request in stream)
+
+    def test_validation(self, tiny_split):
+        batch = tiny_split.incremental_batch("val")
+        with pytest.raises(ServingError):
+            split_requests(batch, 0)
+        with pytest.raises(ServingError):
+            split_requests(batch.subset(np.array([], dtype=int)), 4)
+
+
+class TestPercentileHelpers:
+    def test_latency_percentiles_ordered(self):
+        tail = latency_percentiles(np.arange(100))
+        assert tail["p50"] <= tail["p95"] <= tail["p99"]
+        assert set(tail) == {"p50", "p95", "p99"}
+
+    def test_latency_percentiles_empty(self):
+        with pytest.raises(InferenceError):
+            latency_percentiles([])
+
+    def test_timing_stats_expose_percentiles(self):
+        stats = time_callable(lambda: sum(range(100)), repeats=7, warmup=0)
+        assert stats.p50_seconds is not None
+        assert stats.p50_seconds <= stats.p95_seconds <= stats.p99_seconds
+        assert stats.p50_seconds == pytest.approx(stats.median_seconds)
+
+    def test_from_samples_matches_shared_helper(self):
+        samples = [0.5, 0.1, 0.9, 0.3]
+        stats = TimingStats.from_samples(samples)
+        tail = latency_percentiles(samples)
+        assert stats.p95_seconds == tail["p95"]
+        assert stats.repeats == 4
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    # tiny-sim keeps this fast; repeats=4 keeps best-of timing stable
+    return run_serving_benchmark(
+        "tiny-sim", budget=9, seed=0, profile="quick",
+        num_requests=12, nodes_per_request=3, max_batch_size=4, repeats=4)
+
+
+class TestServingBenchmark:
+    def test_schema(self, bench_result):
+        check_benchmark_schema(bench_result)  # raises on drift
+        assert bench_result["schema_version"] == 1
+        assert "synthetic" in bench_result["deployments"]
+
+    def test_cached_path_is_bitwise_equal(self, bench_result):
+        assert bench_result["parity"]["cached_bitwise_equal"] is True
+
+    def test_cached_beats_uncached_mean_latency(self, bench_result):
+        # The acceptance bar for the prepared-deployment cache: strictly
+        # less work per batch must show up as lower best-of mean latency.
+        synthetic = bench_result["deployments"]["synthetic"]
+        assert synthetic["paths"]["cached"]["mean_ms"] < \
+            synthetic["paths"]["uncached"]["mean_ms"]
+        assert synthetic["speedup_cached_vs_uncached"] > 1.0
+
+    def test_runtime_section_populated(self, bench_result):
+        runtime = bench_result["deployments"]["synthetic"]["runtime"]
+        assert runtime["requests"] == 12
+        assert runtime["throughput_rps"] > 0
+
+    def test_frozen_path_present_for_sgc(self, bench_result):
+        synthetic = bench_result["deployments"]["synthetic"]
+        assert "frozen" in synthetic["paths"]
+        assert np.isfinite(bench_result["parity"]["frozen_max_abs_diff"])
+
+    def test_json_roundtrip(self, bench_result, tmp_path):
+        path = write_benchmark_json(bench_result, tmp_path / "bench.json")
+        loaded = json.loads(path.read_text())
+        check_benchmark_schema(loaded)
+        assert loaded["dataset"] == "tiny-sim"
+
+    def test_schema_checker_rejects_drift(self, bench_result):
+        broken = json.loads(json.dumps(bench_result))
+        del broken["deployments"]["synthetic"]["paths"]["cached"]["p95_ms"]
+        with pytest.raises(ServingError):
+            check_benchmark_schema(broken)
+        with pytest.raises(ServingError):
+            check_benchmark_schema({"kind": "serving-benchmark"})

@@ -149,6 +149,53 @@ class TestCli:
         assert "full" in out
 
 
+class TestServingCli:
+    def test_list_includes_serving_registries(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("microbatch", "immediate", "sizecap",
+                    "poisson", "bursty", "ramp"):
+            assert key in out
+
+    def test_serve_online_missing_artifact(self, capsys, tmp_path):
+        code = main(["serve-online",
+                     "--artifact", str(tmp_path / "missing.npz")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_online_roundtrip(self, capsys, monkeypatch, tmp_path):
+        _fast_profile(monkeypatch)
+        artifact = tmp_path / "bundle.npz"
+        assert main(["condense", "--dataset", "tiny-sim", "--method", "mcond",
+                     "--budget", "9", "--output", str(artifact)]) == 0
+        capsys.readouterr()
+        code = main(["serve-online", "--artifact", str(artifact),
+                     "--requests", "6", "--closed-loop",
+                     "--batch-mode", "node", "--max-batch-size", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served 6 requests" in out
+        assert "latency p50/p95/p99" in out
+        assert "throughput" in out
+
+    def test_bench_writes_schema_checked_json(self, capsys, tmp_path):
+        import json
+
+        from repro.serving import check_benchmark_schema
+
+        output = tmp_path / "BENCH_serving.json"
+        code = main(["bench", "--dataset", "tiny-sim", "--budget", "9",
+                     "--requests", "8", "--nodes-per-request", "2",
+                     "--max-batch-size", "4", "--repeats", "2",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bitwise parity: True" in out
+        result = json.loads(output.read_text())
+        check_benchmark_schema(result)
+        assert result["dataset"] == "tiny-sim"
+
+
 class TestDosCond:
     def test_reduces_and_labels_cover_classes(self, tiny_split):
         config = DosCondConfig(outer_loops=1, match_steps=3,
