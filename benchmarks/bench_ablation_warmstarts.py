@@ -12,7 +12,6 @@ do in the paper.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.condense import DosCondConfig, DosCondReducer, MCondConfig, MCondReducer
 from repro.experiments import format_table

@@ -1,0 +1,74 @@
+"""Condensation-scaling benchmarks (pytest-benchmark timing).
+
+Times the offline phase — the quantity the sharded pipeline exists to
+shrink — three ways:
+
+- the unsharded baseline reducer (one process, whole graph);
+- the sharded pipeline at K ∈ {1, 2, 4} shards (serial workers, so the
+  numbers isolate the *algorithmic* savings of condensing smaller shards
+  from multiprocessing overhead);
+- the partition step alone, per strategy (it must stay negligible
+  against condensation).
+
+This complements the one-shot ``repro bench-condense`` harness (which
+writes the tracked ``BENCH_condense.json`` and feeds the CI perf gate)
+with pytest-benchmark's statistical treatment, and asserts the same
+invariants: the merged graph spends the full budget and K=1 matches the
+baseline bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import dataset_budgets
+from repro.graph.partition import make_partitioner
+from repro.registry import make_reducer
+
+DATASETS = ("pubmed-sim",)
+SHARD_COUNTS = (1, 2, 4)
+
+
+def _inner(context):
+    return context.reducer_config("mcond")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_unsharded_condense_baseline(benchmark, contexts, dataset):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+    config = _inner(context)
+    condensed = benchmark.pedantic(
+        lambda: make_reducer("mcond", seed=0, **config).reduce(
+            context.prepared.split, budget),
+        rounds=1, iterations=1)
+    assert condensed.num_nodes == budget
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_sharded_condense_scaling(benchmark, contexts, dataset, shards):
+    context = contexts[dataset]
+    budget = dataset_budgets(dataset)[-1]
+    config = _inner(context)
+    split = context.prepared.split
+    condensed = benchmark.pedantic(
+        lambda: make_reducer("sharded", seed=0, inner="mcond", shards=shards,
+                             workers=1, **config).reduce(split, budget),
+        rounds=1, iterations=1)
+    assert condensed.num_nodes == budget
+    if shards == 1:
+        direct = make_reducer("mcond", seed=0, **config).reduce(split, budget)
+        assert np.array_equal(condensed.adjacency, direct.adjacency)
+        assert np.array_equal(condensed.features, direct.features)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("strategy", ("stratified", "degree"))
+def test_partition_latency(benchmark, contexts, dataset, strategy):
+    context = contexts[dataset]
+    graph = context.prepared.original
+    partition = make_partitioner(strategy)
+    shards = benchmark(lambda: partition(graph, 4, seed=0))
+    assert sum(s.size for s in shards) == graph.num_nodes

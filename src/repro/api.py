@@ -52,10 +52,9 @@ from repro.graph.graph import Graph
 from repro.inference.engine import InductiveServer, InferenceReport
 from repro.nn.metrics import accuracy as _accuracy
 from repro.nn.models import GNNModel, make_model
-from repro.registry import DATASETS, MODELS, REDUCERS
 from repro.serving.prepared import PreparedDeployment
 from repro.serving.runtime import ServingRuntime
-from repro.utils.artifacts import normalize_npz_path
+from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
 __all__ = ["condense", "deploy", "serve", "open_runtime",
            "evaluation_batch", "DeploymentBundle"]
@@ -252,16 +251,13 @@ class DeploymentBundle:
             payload["base::features"] = self.base.features
             if self.base.labels is not None:
                 payload["base::labels"] = self.base.labels
-        np.savez_compressed(target, **payload)
-        return target
+        return save_npz(target, payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "DeploymentBundle":
         """Load a bundle saved by :meth:`save`."""
         target = normalize_npz_path(path)
-        if not target.exists():
-            raise ArtifactError(f"no deployment bundle at {target}")
-        with np.load(target) as archive:
+        with open_npz_archive(target, "deployment bundle") as archive:
             check_format_version(archive, target)
             if "meta_json" not in archive.files:
                 raise ArtifactError(

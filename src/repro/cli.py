@@ -26,7 +26,7 @@ import argparse
 import sys
 
 from repro import api
-from repro.errors import DatasetError, ReproError
+from repro.errors import ConfigError, DatasetError, ReproError
 from repro.experiments import (
     FULL,
     QUICK,
@@ -84,6 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "dataset's largest registered budget)")
     condense.add_argument("--model", default="sgc",
                           help="model architecture registry key (default: sgc)")
+    condense.add_argument("--shards", type=int, default=None,
+                          help="run the sharded condensation pipeline with "
+                               "this many graph shards (default: unsharded)")
+    condense.add_argument("--workers", type=int, default=1,
+                          help="parallel worker processes for --shards "
+                               "(default: 1, serial)")
+    condense.add_argument("--partitioner", default="stratified",
+                          help="graph partitioner registry key for --shards "
+                               "(default: stratified)")
     condense.add_argument("--output", "--artifact", dest="output", default=None,
                           help="write the deployment bundle to this .npz path")
 
@@ -162,6 +171,48 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--output", default="BENCH_serving.json",
                        help="output JSON path (default: BENCH_serving.json)")
 
+    bench_condense = sub.add_parser(
+        "bench-condense",
+        help="run the condensation scaling benchmark (unsharded baseline "
+             "vs sharded at several shard counts) and write "
+             "BENCH_condense.json")
+    _add_common(bench_condense)
+    bench_condense.add_argument("--method", default="mcond",
+                                help="reduction method registry key "
+                                     "(default: mcond)")
+    bench_condense.add_argument("--budget", type=int, default=None,
+                                help="synthetic node budget (default: the "
+                                     "dataset's largest registered budget)")
+    bench_condense.add_argument("--scale", type=float, default=1.0,
+                                help="dataset scale multiplier (default: 1.0)")
+    bench_condense.add_argument("--shards", default="1,2,4",
+                                help="comma-separated shard counts to "
+                                     "benchmark (default: 1,2,4)")
+    bench_condense.add_argument("--workers", type=int, default=None,
+                                help="worker-process cap per variant "
+                                     "(default: min(shards, cpu count))")
+    bench_condense.add_argument("--partitioner", default="stratified",
+                                help="graph partitioner registry key "
+                                     "(default: stratified)")
+    bench_condense.add_argument("--repeats", type=int, default=1,
+                                help="condensation repeats, best kept "
+                                     "(default: 1)")
+    bench_condense.add_argument("--batch-mode", choices=("graph", "node"),
+                                default="graph")
+    bench_condense.add_argument("--output", default="BENCH_condense.json",
+                                help="output JSON path "
+                                     "(default: BENCH_condense.json)")
+    bench_condense.add_argument("--gate", action="store_true",
+                                help="fail (exit 1) unless the gated shard "
+                                     "count beats the unsharded wall-clock "
+                                     "within the accuracy budget")
+    bench_condense.add_argument("--gate-shards", type=int, default=2,
+                                help="shard count the --gate checks "
+                                     "(default: 2)")
+    bench_condense.add_argument("--max-accuracy-drop", type=float, default=2.0,
+                                help="accuracy-point budget for --gate "
+                                     "(default: 2.0)")
+
     evaluate = sub.add_parser(
         "eval",
         help="run one Table-II method end to end in memory and report "
@@ -187,6 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(handler=_cmd_serve)
     online.set_defaults(handler=_cmd_serve_online)
     bench.set_defaults(handler=_cmd_bench)
+    bench_condense.set_defaults(handler=_cmd_bench_condense)
     evaluate.set_defaults(handler=_cmd_eval)
 
     for name in _EXPERIMENTS:
@@ -227,10 +279,29 @@ def _default_budget(args) -> int:
 # ----------------------------------------------------------------------
 def _cmd_condense(args) -> int:
     method = None if args.method == "whole" else args.method
+    reducer_options = None
+    if method is None and args.shards is not None:
+        raise ConfigError(
+            "--shards requires a reduction method; --method whole keeps the "
+            "full graph and condenses nothing")
+    if method is not None and (args.shards is not None or method == "sharded"):
+        # `--shards K` routes any method through the sharded pipeline;
+        # `--method sharded` alone condenses with the wrapper's defaults.
+        reducer_options = {"shards": args.shards if args.shards else 2,
+                           "workers": args.workers,
+                           "partitioner": args.partitioner}
+        if method != "sharded":
+            reducer_options["inner"] = method
+        method = "sharded"
     bundle = api.deploy(args.dataset, method,
                         _default_budget(args) if method else 0,
                         model=args.model, seed=args.seed,
-                        profile=_profile(args))
+                        profile=_profile(args),
+                        reducer_options=reducer_options)
+    if reducer_options is not None:
+        print(f"sharded offline phase: {reducer_options['shards']} shards, "
+              f"{reducer_options['workers']} workers, "
+              f"{reducer_options['partitioner']} partitioner")
     print(bundle)
     if bundle.condensed is not None:
         print(f"condensed: {bundle.condensed!r}")
@@ -316,6 +387,55 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_bench_condense(args) -> int:
+    from repro.condense.bench import (
+        check_condense_benchmark_schema,
+        gate_condense_benchmark,
+        run_condense_scaling_benchmark,
+        write_benchmark_json,
+    )
+
+    try:
+        shard_counts = tuple(int(item) for item in str(args.shards).split(","))
+    except ValueError:
+        raise ConfigError(
+            f"--shards must be a comma-separated list of integers, "
+            f"got {args.shards!r}")
+    result = run_condense_scaling_benchmark(
+        args.dataset, method=args.method, budget=args.budget, seed=args.seed,
+        scale=args.scale, profile=args.effort, shard_counts=shard_counts,
+        workers=args.workers, partitioner=args.partitioner,
+        repeats=args.repeats, batch_mode=args.batch_mode)
+    check_condense_benchmark_schema(result)
+    path = write_benchmark_json(result, args.output)
+    baseline = result["baseline"]
+    print(f"baseline {args.method}: {baseline['wall_clock_s']:.2f}s, "
+          f"accuracy {baseline['accuracy']:.4f} "
+          f"({baseline['num_nodes']} synthetic nodes)")
+    for variant in result["sharded"]:
+        parity = ""
+        if "parity_bit_identical" in variant:
+            state = "ok" if variant["parity_bit_identical"] else "BROKEN"
+            parity = f", parity {state}"
+        print(f"  K={variant['shards']} workers={variant['workers']}: "
+              f"{variant['wall_clock_s']:.2f}s "
+              f"({variant['speedup_vs_baseline']:.2f}x), "
+              f"accuracy {variant['accuracy']:.4f} "
+              f"(drop {variant['accuracy_drop_points']:+.2f} pts){parity}")
+    print(f"wrote {path}")
+    if args.gate:
+        failures = gate_condense_benchmark(
+            result, shards=args.gate_shards,
+            max_accuracy_drop=args.max_accuracy_drop)
+        if failures:
+            for failure in failures:
+                print(f"perf gate: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed: K={args.gate_shards} beats the unsharded "
+              f"baseline within {args.max_accuracy_drop:g} accuracy points")
+    return 0
+
+
 def _cmd_eval(args) -> int:
     budget = _default_budget(args)
     context = ExperimentContext(
@@ -341,10 +461,14 @@ def _print_report(report) -> None:
 
 def _cmd_list(args) -> int:
     import repro.serving  # noqa: F401 — populates scheduler/workload registries
+    from repro.graph.partition import PARTITIONERS
     from repro.registry import SCHEDULERS, WORKLOADS
 
     print("reduction methods (repro condense --method):")
     for name, entry in REDUCERS.items():
+        print(f"  {name:<10} {entry.description}")
+    print("\ngraph partitioners (repro condense --shards K --partitioner):")
+    for name, entry in PARTITIONERS.items():
         print(f"  {name:<10} {entry.description}")
     print("\nmodel architectures (--model):")
     print(f"  {', '.join(MODELS.keys())}")

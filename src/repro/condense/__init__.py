@@ -44,6 +44,20 @@ from repro.condense.gcond import (
 )
 from repro.condense.mcond import MCondConfig, MCondResult, MCondReducer
 from repro.condense.doscond import DosCondConfig, DosCondReducer
+from repro.condense.sharded import (
+    ShardedReducer,
+    ShardTask,
+    apportion_budget,
+    assign_support,
+    coalesce_shards,
+    merge_condensed,
+)
+from repro.condense.bench import (
+    CONDENSE_BENCH_SCHEMA_VERSION,
+    check_condense_benchmark_schema,
+    gate_condense_benchmark,
+    run_condense_scaling_benchmark,
+)
 
 __all__ = [
     "CondensedGraph", "GraphReducer", "allocate_class_counts",
@@ -59,4 +73,8 @@ __all__ = [
     "GCondConfig", "GCondReducer", "init_synthetic_features",
     "MCondConfig", "MCondResult", "MCondReducer",
     "DosCondConfig", "DosCondReducer",
+    "ShardedReducer", "ShardTask", "apportion_budget", "assign_support",
+    "coalesce_shards", "merge_condensed",
+    "CONDENSE_BENCH_SCHEMA_VERSION", "check_condense_benchmark_schema",
+    "gate_condense_benchmark", "run_condense_scaling_benchmark",
 ]

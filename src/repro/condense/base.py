@@ -21,7 +21,7 @@ from repro.graph.datasets import InductiveSplit
 from repro.graph.graph import Graph
 from repro.graph.ops import dense_symmetric_normalize
 from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
-from repro.utils.artifacts import normalize_npz_path
+from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
 __all__ = ["CondensedGraph", "GraphReducer", "allocate_class_counts",
            "selection_mapping", "FORMAT_VERSION", "check_format_version"]
@@ -180,16 +180,13 @@ class CondensedGraph:
         """
         payload = self.to_payload()
         payload["format_version"] = np.asarray(FORMAT_VERSION)
-        np.savez_compressed(normalize_npz_path(path), **payload)
+        save_npz(path, payload)
 
     @classmethod
     def load(cls, path: str | Path) -> "CondensedGraph":
         """Load an artifact previously stored with :meth:`save`."""
-        target = normalize_npz_path(path)
-        if not target.exists():
-            raise ArtifactError(f"no condensed artifact at {target}")
-        with np.load(target) as archive:
-            check_format_version(archive, target)
+        with open_npz_archive(path, "condensed artifact") as archive:
+            check_format_version(archive, normalize_npz_path(path))
             return cls.from_payload(archive)
 
 
@@ -249,7 +246,13 @@ def allocate_class_counts(labels: np.ndarray, budget: int,
         allocation += extra
         shortfall = remaining - int(extra.sum())
         if shortfall > 0:
-            order = np.argsort(-(fractions * remaining - extra))
+            # Largest-remainder distribution, restricted to classes that
+            # actually have labeled nodes — sharded runs can see shards
+            # whose labeled subset misses a class entirely, and a
+            # synthetic node for an absent class could not be initialized.
+            remainders = fractions * remaining - extra
+            remainders[~present] = -np.inf
+            order = np.argsort(-remainders, kind="stable")
             for cls in order[:shortfall]:
                 allocation[cls] += 1
     return allocation

@@ -1,0 +1,231 @@
+"""The condensation-scaling benchmark behind ``repro bench-condense``.
+
+Times the offline phase — condensing the observed graph — unsharded and
+sharded at several shard counts, and evaluates each condensed graph
+end-to-end (train on the synthetic graph, serve the inductive test
+batch) so condensation cost and downstream accuracy are tracked
+*together*.  The result is a machine-readable dict (schema asserted by
+:func:`check_condense_benchmark_schema` and the test suite) written to
+``BENCH_condense.json`` — the offline-phase companion of
+``BENCH_serving.json``, and the input of the CI perf gate
+(:func:`gate_condense_benchmark`).
+
+Baseline and sharded variants share the exact same inner-method
+configuration (effort profile + per-dataset tuned weights), so the
+deltas measure sharding, not hyper-parameters; with ``shards=1`` the
+sharded pipeline must reproduce the baseline bit-for-bit, and the
+benchmark records that parity check.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.condense.base import CondensedGraph
+from repro.errors import CondensationError
+from repro.registry import make_reducer
+from repro.utils.reports import require_keys, write_benchmark_json
+
+__all__ = ["CONDENSE_BENCH_SCHEMA_VERSION", "run_condense_scaling_benchmark",
+           "check_condense_benchmark_schema", "gate_condense_benchmark",
+           "write_benchmark_json"]
+
+CONDENSE_BENCH_SCHEMA_VERSION = 1
+
+_VARIANT_KEYS = ("shards", "workers", "wall_clock_s", "accuracy",
+                 "accuracy_drop_points", "speedup_vs_baseline", "num_nodes",
+                 "num_edges", "storage_bytes", "plan")
+_BASELINE_KEYS = ("wall_clock_s", "accuracy", "num_nodes", "num_edges",
+                  "storage_bytes")
+
+
+def _time_reduce(build, split, budget: int, repeats: int):
+    """Best-of-``repeats`` condensation wall-clock; returns (seconds, graph)."""
+    best = np.inf
+    condensed = None
+    for _ in range(repeats):
+        reducer = build()
+        start = time.perf_counter()
+        result = reducer.reduce(split, budget)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        condensed = result
+    return float(best), condensed, reducer
+
+
+def _graph_facts(condensed: CondensedGraph) -> dict:
+    return {
+        "num_nodes": condensed.num_nodes,
+        "num_edges": int((condensed.adjacency > 0).sum()),
+        "storage_bytes": condensed.storage_bytes(),
+    }
+
+
+def _bit_identical(a: CondensedGraph, b: CondensedGraph) -> bool:
+    if (a.mapping is None) != (b.mapping is None):
+        return False
+    mapping_equal = (a.mapping is None
+                     or np.array_equal(a.mapping.toarray(),
+                                       b.mapping.toarray()))
+    return bool(np.array_equal(a.adjacency, b.adjacency)
+                and np.array_equal(a.features, b.features)
+                and np.array_equal(a.labels, b.labels)
+                and mapping_equal)
+
+
+def run_condense_scaling_benchmark(
+        dataset: str = "pubmed-sim", *, method: str = "mcond",
+        budget: int | None = None, seed: int = 0, scale: float = 1.0,
+        profile: str | None = "quick", shard_counts: tuple[int, ...] = (1, 2, 4),
+        workers: int | None = None, partitioner: str = "stratified",
+        cut_scale: float = 1.0, repeats: int = 1,
+        batch_mode: str = "graph") -> dict:
+    """Run the condensation scaling benchmark; returns the JSON-ready dict.
+
+    ``workers`` caps per-variant worker processes; ``None`` uses
+    ``min(shards, cpu_count)`` so single-core machines still measure the
+    sharded pipeline's algorithmic savings without fork overhead.
+    """
+    # Local imports: condense stays importable without the experiment stack.
+    from repro.experiments.pipeline import ExperimentContext, prepare_dataset
+    from repro.experiments.settings import FULL, QUICK, dataset_budgets
+
+    if repeats < 1:
+        raise CondensationError(f"repeats must be >= 1, got {repeats}")
+    if budget is None:
+        budget = dataset_budgets(dataset)[-1]
+    effort = FULL if profile == "full" else QUICK
+    context = ExperimentContext(
+        prepare_dataset(dataset, seed=seed, scale=scale), effort)
+    split = context.prepared.split
+    inner_cfg = context.reducer_config(method)
+    cpu_count = os.cpu_count() or 1
+
+    def evaluate(condensed: CondensedGraph) -> float:
+        deployment = ("synthetic" if condensed.supports_attachment()
+                      else "original")
+        model = context.train("synthetic", condensed=condensed,
+                              validate_deployment=deployment, seed=seed)
+        report = context.evaluate(model, deployment, condensed,
+                                  batch_mode=batch_mode)
+        return float(report.accuracy)
+
+    base_seconds, base_condensed, _ = _time_reduce(
+        lambda: make_reducer(method, seed=seed, **inner_cfg),
+        split, budget, repeats)
+    base_accuracy = evaluate(base_condensed)
+    # The context's model cache is keyed by id(condensed); keep every
+    # evaluated graph alive so a freed address can't be reused by a later
+    # variant and silently resolve to the wrong cached model.
+    evaluated = [base_condensed]
+
+    result = {
+        "schema_version": CONDENSE_BENCH_SCHEMA_VERSION,
+        "kind": "condense-benchmark",
+        "dataset": dataset,
+        "method": method,
+        "budget": budget,
+        "seed": seed,
+        "scale": scale,
+        "profile": effort.name,
+        "partitioner": partitioner,
+        "cut_scale": cut_scale,
+        "repeats": repeats,
+        "batch_mode": batch_mode,
+        "cpu_count": cpu_count,
+        "baseline": {
+            "wall_clock_s": base_seconds,
+            "accuracy": base_accuracy,
+            **_graph_facts(base_condensed),
+        },
+        "sharded": [],
+    }
+
+    for shards in shard_counts:
+        variant_workers = (min(shards, cpu_count) if workers is None
+                           else min(shards, workers))
+        seconds, condensed, reducer = _time_reduce(
+            lambda: make_reducer(
+                "sharded", seed=seed, inner=method, shards=shards,
+                workers=variant_workers, partitioner=partitioner,
+                cut_scale=cut_scale, **inner_cfg),
+            split, budget, repeats)
+        accuracy = evaluate(condensed)
+        evaluated.append(condensed)
+        variant = {
+            "shards": shards,
+            "workers": variant_workers,
+            "wall_clock_s": seconds,
+            "accuracy": accuracy,
+            "accuracy_drop_points": 100.0 * (base_accuracy - accuracy),
+            "speedup_vs_baseline": base_seconds / seconds,
+            "plan": reducer.last_plan,
+            **_graph_facts(condensed),
+        }
+        if shards == 1:
+            variant["parity_bit_identical"] = _bit_identical(
+                base_condensed, condensed)
+        result["sharded"].append(variant)
+    return result
+
+
+def check_condense_benchmark_schema(result: dict) -> None:
+    """Validate the benchmark dict's shape; raises on drift.
+
+    Shared by the test suite and ``repro bench-condense`` itself, so the
+    emitted ``BENCH_condense.json`` can never silently lose the keys the
+    CI perf gate reads.
+    """
+    top = ("schema_version", "kind", "dataset", "method", "budget", "seed",
+           "scale", "profile", "partitioner", "cut_scale", "repeats",
+           "batch_mode", "cpu_count", "baseline", "sharded")
+    require_keys(result, top, "condense benchmark", CondensationError)
+    if result["kind"] != "condense-benchmark":
+        raise CondensationError(
+            f"unexpected benchmark kind {result['kind']!r}")
+    require_keys(result["baseline"], _BASELINE_KEYS, "baseline section",
+                 CondensationError)
+    if not result["sharded"]:
+        raise CondensationError("condense benchmark has no sharded variants")
+    for variant in result["sharded"]:
+        require_keys(variant, _VARIANT_KEYS,
+                     f"sharded variant {variant.get('shards')!r}",
+                     CondensationError)
+        if variant["shards"] == 1 and "parity_bit_identical" not in variant:
+            raise CondensationError(
+                "shards=1 variant misses the parity_bit_identical check")
+
+
+def gate_condense_benchmark(result: dict, *, shards: int = 2,
+                            max_accuracy_drop: float = 2.0) -> list[str]:
+    """The CI perf gate: returns failure messages (empty list = pass).
+
+    The gated variant must beat the unsharded baseline's wall-clock and
+    stay within ``max_accuracy_drop`` accuracy points; any shards=1
+    variant must additionally be bit-identical to the baseline.
+    """
+    check_condense_benchmark_schema(result)
+    failures: list[str] = []
+    gated = [v for v in result["sharded"] if v["shards"] == shards]
+    if not gated:
+        return [f"no sharded variant with shards={shards} in the benchmark"]
+    variant = gated[0]
+    baseline_s = result["baseline"]["wall_clock_s"]
+    if variant["wall_clock_s"] >= baseline_s:
+        failures.append(
+            f"sharded K={shards} wall-clock {variant['wall_clock_s']:.2f}s "
+            f"is not below the unsharded baseline {baseline_s:.2f}s")
+    if variant["accuracy_drop_points"] > max_accuracy_drop:
+        failures.append(
+            f"sharded K={shards} accuracy drop "
+            f"{variant['accuracy_drop_points']:.2f} points exceeds the "
+            f"{max_accuracy_drop:.2f}-point budget")
+    for candidate in result["sharded"]:
+        if candidate["shards"] == 1 and not candidate.get("parity_bit_identical"):
+            failures.append("shards=1 output is not bit-identical to the "
+                            "direct reducer")
+    return failures

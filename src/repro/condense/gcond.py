@@ -32,7 +32,6 @@ from repro.tensor.functional import binary_cross_entropy_with_logits, cross_entr
 from repro.tensor.tensor import (
     Tensor,
     concat,
-    div,
     gather_rows,
     grad,
     matmul,

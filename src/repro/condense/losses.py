@@ -10,7 +10,6 @@ recombined (the Table V ablations switch individual terms off).
 from __future__ import annotations
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.errors import CondensationError
 from repro.graph.sampling import EdgeBatch

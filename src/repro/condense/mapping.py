@@ -21,11 +21,8 @@ from repro.errors import CondensationError
 from repro.nn.module import Module, Parameter
 from repro.tensor.tensor import (
     Tensor,
-    as_tensor,
     div,
     maximum_const,
-    mul,
-    reshape,
     sigmoid,
     sub,
     tensor_sum,

@@ -95,7 +95,13 @@ class ExperimentContext:
         entry = REDUCERS.get(method)
         cfg = {name: getattr(self.profile, name)
                for name in entry.profile_params}
-        cfg.update(self._TUNED.get(entry.name, {}).get(self.prepared.name, {}))
+        # The sharded wrapper runs another method per shard: layer the
+        # *inner* method's tuned weights so `--shards K` keeps the same
+        # per-dataset hyper-parameters as the direct run.
+        tuned_key = entry.name
+        if entry.name == "sharded":
+            tuned_key = str(overrides.get("inner", "mcond")).lower()
+        cfg.update(self._TUNED.get(tuned_key, {}).get(self.prepared.name, {}))
         cfg.update(overrides)
         return cfg
 

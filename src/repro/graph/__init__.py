@@ -31,6 +31,15 @@ from repro.graph.datasets import (
     make_split,
 )
 from repro.graph.sampling import EdgeBatch, sample_edge_batch, iterate_minibatches
+from repro.graph.partition import (
+    PARTITIONERS,
+    bfs_order,
+    check_partition,
+    degree_balanced_partition,
+    make_partitioner,
+    register_partitioner,
+    stratified_partition,
+)
 
 __all__ = [
     "Graph",
@@ -44,4 +53,7 @@ __all__ = [
     "DatasetSpec", "IncrementalBatch", "InductiveSplit", "DATASET_SPECS",
     "dataset_names", "load_dataset", "make_split",
     "EdgeBatch", "sample_edge_batch", "iterate_minibatches",
+    "PARTITIONERS", "bfs_order", "check_partition",
+    "degree_balanced_partition", "make_partitioner", "register_partitioner",
+    "stratified_partition",
 ]

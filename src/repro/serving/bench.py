@@ -22,9 +22,6 @@ batches; percentiles come from the shared quantile helper.
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
 import numpy as np
 
 from repro.errors import ServingError
@@ -33,6 +30,7 @@ from repro.inference.engine import InductiveServer
 from repro.serving.prepared import PreparedDeployment
 from repro.serving.runtime import ServingRuntime
 from repro.serving.workload import split_requests, replay
+from repro.utils.reports import write_benchmark_json
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_serving_benchmark",
            "write_benchmark_json", "check_benchmark_schema"]
@@ -184,13 +182,6 @@ def _as_request(batch):
     return Request(features=np.asarray(batch.features, dtype=np.float64),
                    incremental=batch.incremental.tocsr(),
                    intra=batch.intra.tocsr())
-
-
-def write_benchmark_json(result: dict, path: str | Path) -> Path:
-    """Persist a benchmark result; returns the written path."""
-    target = Path(path)
-    target.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
-    return target
 
 
 def check_benchmark_schema(result: dict) -> None:

@@ -52,7 +52,7 @@ from repro.graph.incremental import convert_connections
 from repro.graph.ops import add_self_loops, symmetric_normalize
 from repro.inference.engine import validate_deployment
 from repro.nn.models import GNNModel, SGC
-from repro.tensor.sparse import dense_memory_bytes, sparse_memory_bytes
+from repro.tensor.sparse import sparse_memory_bytes
 from repro.tensor.tensor import Tensor, no_grad
 
 __all__ = ["PreparedDeployment"]

@@ -15,15 +15,12 @@ from repro.tensor.tensor import (
     as_tensor,
     div,
     exp,
-    gather_rows,
     log,
     maximum_const,
     mul,
     neg,
     power,
-    sigmoid,
     sub,
-    sum_to,
     tensor_mean,
     tensor_sum,
 )

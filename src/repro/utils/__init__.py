@@ -1,8 +1,9 @@
 """Small shared utilities: seeding, timing, artifact paths."""
 
 from repro.utils.artifacts import normalize_npz_path
+from repro.utils.reports import write_benchmark_json
 from repro.utils.seeding import seed_everything, spawn_rngs
 from repro.utils.timers import Stopwatch, format_seconds
 
 __all__ = ["seed_everything", "spawn_rngs", "Stopwatch", "format_seconds",
-           "normalize_npz_path"]
+           "normalize_npz_path", "write_benchmark_json"]

@@ -5,13 +5,25 @@ naive ``save("x.bin")`` writes ``x.bin.npz`` while ``load("x.bin")`` looks
 for the original name and fails.  Every artifact writer/reader in the
 library routes paths through :func:`normalize_npz_path` so save and load
 always agree on the on-disk name.
+
+:func:`save_npz` and :func:`open_npz_archive` additionally translate the
+raw I/O failures numpy surfaces — a missing parent directory, a
+permission error, a truncated or non-zip file — into
+:class:`~repro.errors.ArtifactError`, so every artifact path problem
+reaches the CLI as a clean ``exit 2`` message instead of a traceback.
 """
 
 from __future__ import annotations
 
+import zipfile
+from contextlib import contextmanager
 from pathlib import Path
 
-__all__ = ["normalize_npz_path"]
+import numpy as np
+
+from repro.errors import ArtifactError
+
+__all__ = ["normalize_npz_path", "save_npz", "open_npz_archive"]
 
 
 def normalize_npz_path(path: str | Path) -> Path:
@@ -25,3 +37,40 @@ def normalize_npz_path(path: str | Path) -> Path:
     if path.suffix != ".npz":
         path = path.with_name(path.name + ".npz")
     return path
+
+
+def save_npz(path: str | Path, payload: dict) -> Path:
+    """Write ``payload`` as a compressed ``.npz``; returns the real path.
+
+    Unwritable targets (missing parent directory, permissions, full disk)
+    raise :class:`ArtifactError` with the offending path in the message.
+    """
+    target = normalize_npz_path(path)
+    try:
+        np.savez_compressed(target, **payload)
+    except OSError as exc:
+        raise ArtifactError(
+            f"cannot write artifact {target}: {exc}") from exc
+    return target
+
+
+@contextmanager
+def open_npz_archive(path: str | Path, kind: str = "artifact"):
+    """Open an ``.npz`` for reading, yielding the ``NpzFile``.
+
+    Missing files raise ``ArtifactError(f"no {kind} at ...")``; unreadable
+    or corrupt files (permissions, truncation, not a zip archive) raise
+    :class:`ArtifactError` naming the path and the underlying failure.
+    """
+    target = normalize_npz_path(path)
+    if not target.exists():
+        raise ArtifactError(f"no {kind} at {target}")
+    try:
+        archive = np.load(target)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise ArtifactError(
+            f"cannot read {kind} {target}: {exc}") from exc
+    try:
+        yield archive
+    finally:
+        archive.close()

@@ -1,0 +1,29 @@
+"""Shared helpers for machine-readable benchmark reports.
+
+Both tracked benchmark artifacts — ``BENCH_serving.json`` (the online
+phase, :mod:`repro.serving.bench`) and ``BENCH_condense.json`` (the
+offline phase, :mod:`repro.condense.bench`) — are plain JSON dicts
+written with the same deterministic formatting, so their diffs across
+commits are the repo's performance trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["write_benchmark_json", "require_keys"]
+
+
+def write_benchmark_json(result: dict, path: str | Path) -> Path:
+    """Persist a benchmark result as stable, sorted JSON; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def require_keys(mapping: dict, keys, where: str, error: type) -> None:
+    """Raise ``error`` naming every key of ``keys`` missing from ``mapping``."""
+    missing = [key for key in keys if key not in mapping]
+    if missing:
+        raise error(f"{where} misses keys: {missing}")

@@ -11,7 +11,6 @@ from repro.experiments import (
     EffortProfile,
     ExperimentContext,
     METHODS,
-    QUICK,
     current_profile,
     dataset_budgets,
     diagonal_dominance,

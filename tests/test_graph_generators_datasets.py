@@ -9,7 +9,6 @@ from hypothesis import given, settings, strategies as st
 from repro.errors import DatasetError
 from repro.graph import (
     DATASET_SPECS,
-    Graph,
     SbmConfig,
     dataset_names,
     edge_homophily,

@@ -1,0 +1,186 @@
+"""Partition invariants: exact cover, determinism, stratification, edge cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError, RegistryError
+from repro.graph import Graph
+from repro.graph.partition import (
+    PARTITIONERS,
+    bfs_order,
+    check_partition,
+    degree_balanced_partition,
+    make_partitioner,
+    stratified_partition,
+)
+
+STRATEGIES = ("stratified", "degree")
+
+
+def _assert_exact_cover(shards, num_nodes):
+    check_partition(shards, num_nodes)
+    combined = np.concatenate([s for s in shards if s.size])
+    assert np.array_equal(np.sort(combined), np.arange(num_nodes))
+
+
+@pytest.fixture
+def labeled_graph(rng) -> Graph:
+    """A 60-node, 3-class graph with a mix of degrees and an isolated tail."""
+    n = 60
+    edges = [(i, (i + 1) % 48) for i in range(48)]          # a 48-cycle
+    edges += [(0, j) for j in range(2, 12)]                  # a hub
+    rows = np.array([e[0] for e in edges])
+    cols = np.array([e[1] for e in edges])
+    adj = sp.coo_matrix((np.ones(rows.size), (rows, cols)), shape=(n, n)).tocsr()
+    adj = adj.maximum(adj.T)                                 # nodes 48..59 isolated
+    features = rng.normal(size=(n, 4))
+    labels = np.arange(n) % 3
+    return Graph(adj, features, labels)
+
+
+class TestRegistry:
+    def test_strategies_registered(self):
+        for name in STRATEGIES:
+            assert name in PARTITIONERS
+            assert callable(make_partitioner(name))
+
+    def test_unknown_partitioner_rejected(self):
+        with pytest.raises(RegistryError):
+            make_partitioner("metis")
+
+
+class TestCheckPartition:
+    def test_accepts_exact_cover(self):
+        check_partition([np.array([0, 2]), np.array([1, 3])], 4)
+
+    def test_accepts_empty_shards(self):
+        check_partition([np.arange(4), np.empty(0, dtype=np.int64)], 4)
+
+    def test_rejects_uncovered_nodes(self):
+        with pytest.raises(GraphError, match="uncovered"):
+            check_partition([np.array([0, 1])], 3)
+
+    def test_rejects_duplicated_nodes(self):
+        with pytest.raises(GraphError, match="multiple shards"):
+            check_partition([np.array([0, 1]), np.array([1, 2])], 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError, match="out-of-range"):
+            check_partition([np.array([0, 5])], 3)
+
+    def test_rejects_unsorted_shards(self):
+        with pytest.raises(GraphError, match="sorted"):
+            check_partition([np.array([1, 0, 2])], 3)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    @pytest.mark.parametrize("num_shards", (1, 2, 3, 5))
+    def test_every_node_in_exactly_one_shard(self, labeled_graph, strategy,
+                                             num_shards):
+        shards = make_partitioner(strategy)(labeled_graph, num_shards, seed=1)
+        assert len(shards) == num_shards
+        _assert_exact_cover(shards, labeled_graph.num_nodes)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_seeded_determinism_across_runs(self, labeled_graph, strategy):
+        fn = make_partitioner(strategy)
+        first = fn(labeled_graph, 3, seed=7)
+        second = fn(labeled_graph, 3, seed=7)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_single_shard_is_identity(self, labeled_graph, strategy):
+        shards = make_partitioner(strategy)(labeled_graph, 1, seed=0)
+        assert len(shards) == 1
+        assert np.array_equal(shards[0], np.arange(labeled_graph.num_nodes))
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_rejects_zero_shards(self, labeled_graph, strategy):
+        with pytest.raises(GraphError):
+            make_partitioner(strategy)(labeled_graph, 0)
+
+    def test_tiny_split_cover(self, tiny_split):
+        graph = tiny_split.original
+        for num_shards in (2, 4):
+            shards = stratified_partition(graph, num_shards, seed=3)
+            _assert_exact_cover(shards, graph.num_nodes)
+
+
+class TestStratified:
+    def test_label_histogram_within_tolerance(self, labeled_graph):
+        num_shards = 3
+        shards = stratified_partition(labeled_graph, num_shards, seed=0)
+        labels = labeled_graph.labels
+        for cls in range(3):
+            expected = (labels == cls).sum() / num_shards
+            for shard in shards:
+                got = int((labels[shard] == cls).sum())
+                # contiguous chunking puts every shard within one node of
+                # its proportional share of each class
+                assert abs(got - expected) <= 1
+
+    def test_unlabeled_graph_falls_back_to_bfs_chunks(self, labeled_graph):
+        unlabeled = Graph(labeled_graph.adjacency, labeled_graph.features)
+        shards = stratified_partition(unlabeled, 4, seed=0)
+        _assert_exact_cover(shards, unlabeled.num_nodes)
+
+    def test_more_shards_than_class_members_yields_empty_shards(self, rng):
+        # 2 classes x 2 nodes, 4 shards: chunks run dry, cover must hold.
+        adj = sp.identity(4, format="csr") * 0
+        graph = Graph(adj, rng.normal(size=(4, 2)), np.array([0, 0, 1, 1]))
+        shards = stratified_partition(graph, 4, seed=0)
+        _assert_exact_cover(shards, 4)
+        assert any(s.size == 0 for s in shards)
+
+    def test_singleton_graph(self, rng):
+        graph = Graph(sp.csr_matrix((1, 1)), rng.normal(size=(1, 3)),
+                      np.array([0]))
+        shards = stratified_partition(graph, 3, seed=0)
+        _assert_exact_cover(shards, 1)
+        assert sorted(s.size for s in shards) == [0, 0, 1]
+
+    def test_empty_graph_rejected(self):
+        graph = Graph(sp.csr_matrix((0, 0)), np.zeros((0, 2)))
+        with pytest.raises(GraphError):
+            stratified_partition(graph, 2)
+
+
+class TestDegreeBalanced:
+    def test_balances_edge_mass(self, labeled_graph):
+        shards = degree_balanced_partition(labeled_graph, 3)
+        degrees = labeled_graph.degrees()
+        loads = sorted(float(degrees[s].sum() + s.size) for s in shards)
+        # LPT guarantee: no load exceeds the smallest by more than the
+        # heaviest single node.
+        assert loads[-1] - loads[0] <= degrees.max() + 1
+
+    def test_isolated_nodes_spread_across_shards(self, rng):
+        graph = Graph(sp.csr_matrix((9, 9)), rng.normal(size=(9, 2)))
+        shards = degree_balanced_partition(graph, 3)
+        assert [s.size for s in shards] == [3, 3, 3]
+
+    def test_seed_has_no_effect(self, labeled_graph):
+        first = degree_balanced_partition(labeled_graph, 3, seed=0)
+        second = degree_balanced_partition(labeled_graph, 3, seed=99)
+        assert all(np.array_equal(a, b) for a, b in zip(first, second))
+
+
+class TestBfsOrder:
+    def test_is_permutation(self, labeled_graph):
+        order = bfs_order(labeled_graph, seed=2)
+        assert np.array_equal(np.sort(order), np.arange(labeled_graph.num_nodes))
+
+    def test_deterministic_per_seed(self, labeled_graph):
+        assert np.array_equal(bfs_order(labeled_graph, seed=5),
+                              bfs_order(labeled_graph, seed=5))
+
+    def test_path_graph_chunks_are_connected(self, path_graph):
+        order = bfs_order(path_graph, seed=0)
+        # On a path, BFS from any root reaches nodes in distance order, so
+        # the first three visited nodes always form a connected subpath.
+        first = np.sort(order[:3])
+        assert first[2] - first[0] == 2

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro import api
-from repro.condense import CondensedGraph, GraphReducer
+from repro.condense import CondensedGraph
 from repro.condense.base import FORMAT_VERSION
 from repro.errors import ArtifactError, ConfigError, RegistryError
 from repro.experiments import EffortProfile

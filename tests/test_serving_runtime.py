@@ -9,7 +9,7 @@ import scipy.sparse as sp
 from repro.errors import ServingError
 from repro.inference import InductiveServer
 from repro.nn import make_model
-from repro.registry import SCHEDULERS, WORKLOADS, make_scheduler
+from repro.registry import SCHEDULERS, make_scheduler
 from repro.serving import (
     BoundedRequestQueue,
     ImmediateScheduler,

@@ -12,7 +12,6 @@ from repro.tensor import (
     cosine_similarity_columns,
     cross_entropy,
     frobenius_norm,
-    grad,
     gradcheck,
     gradient_cosine_distance,
     l21_norm,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.errors import AutogradError, ShapeError
+from repro.errors import ShapeError
 from repro.tensor import (
     Tensor,
     abs_,
@@ -15,7 +15,6 @@ from repro.tensor import (
     dropout,
     exp,
     gather_rows,
-    grad,
     gradcheck,
     log,
     matmul,

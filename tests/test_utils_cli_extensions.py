@@ -108,6 +108,26 @@ class TestCli:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_serve_corrupt_artifact_exits_cleanly(self, capsys, tmp_path):
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(b"this is not a zip archive")
+        code = main(["serve", "--artifact", str(corrupt)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "corrupt.npz" in err
+
+    def test_condense_unwritable_output_exits_cleanly(self, capsys,
+                                                      monkeypatch, tmp_path):
+        _fast_profile(monkeypatch)
+        target = tmp_path / "no" / "such" / "dir" / "bundle.npz"
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "random",
+                     "--budget", "9", "--output", str(target)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "bundle.npz" in err
+
     def test_condense_then_serve_roundtrip(self, capsys, monkeypatch,
                                            tmp_path):
         _fast_profile(monkeypatch)
@@ -125,6 +145,37 @@ class TestCli:
         out = capsys.readouterr().out
         assert "accuracy" in out
         assert "synthetic" in out
+
+    def test_condense_sharded_roundtrip(self, capsys, monkeypatch, tmp_path):
+        _fast_profile(monkeypatch)
+        artifact = tmp_path / "sharded.npz"
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "mcond",
+                     "--budget", "9", "--shards", "2", "--workers", "2",
+                     "--output", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded offline phase: 2 shards, 2 workers" in out
+        assert artifact.exists()
+
+        code = main(["serve", "--artifact", str(artifact),
+                     "--batch-mode", "node"])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_condense_whole_with_shards_rejected(self, capsys):
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "whole",
+                     "--shards", "2"])
+        assert code == 2
+        assert "--shards requires a reduction method" in \
+            capsys.readouterr().err
+
+    def test_condense_sharded_unknown_partitioner(self, capsys, monkeypatch):
+        _fast_profile(monkeypatch)
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "mcond",
+                     "--budget", "9", "--shards", "2",
+                     "--partitioner", "metis"])
+        assert code == 2
+        assert "stratified" in capsys.readouterr().err  # alternatives listed
 
     def test_eval_runs_one_method(self, capsys, monkeypatch):
         _fast_profile(monkeypatch)
@@ -194,6 +245,36 @@ class TestServingCli:
         result = json.loads(output.read_text())
         check_benchmark_schema(result)
         assert result["dataset"] == "tiny-sim"
+
+    def test_bench_condense_writes_schema_checked_json(self, capsys,
+                                                       tmp_path):
+        import json
+
+        from repro.condense import check_condense_benchmark_schema
+
+        output = tmp_path / "BENCH_condense.json"
+        code = main(["bench-condense", "--dataset", "tiny-sim",
+                     "--budget", "9", "--shards", "1,2",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parity ok" in out
+        result = json.loads(output.read_text())
+        check_condense_benchmark_schema(result)
+        assert result["dataset"] == "tiny-sim"
+
+    def test_bench_condense_rejects_bad_shard_list(self, capsys):
+        code = main(["bench-condense", "--dataset", "tiny-sim",
+                     "--shards", "two,four"])
+        assert code == 2
+        assert "comma-separated" in capsys.readouterr().err
+
+    def test_list_includes_partitioners(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "stratified" in out
+        assert "degree" in out
+        assert "sharded" in out
 
 
 class TestDosCond:
