@@ -1,0 +1,99 @@
+"""Streaming-evolution benchmarks (pytest-benchmark timing).
+
+Times the piece the streaming subsystem exists for — keeping a prepared
+deployment's serving caches fresh while the base graph evolves:
+
+- ``apply_delta`` with incremental refresh (the default path);
+- ``apply_delta`` with ``staleness_threshold=0`` (every delta rebuilds
+  the warm caches from scratch — the baseline the CI gate compares
+  against);
+- the raw ``StreamingGraph.apply`` row splice, without any serving
+  caches (the floor every refresh strategy pays).
+
+This complements the one-shot ``repro bench-stream`` harness (which
+writes the tracked ``BENCH_streaming.json`` and feeds the CI perf gate)
+with pytest-benchmark's statistical treatment, and asserts the same
+invariant: after the trace, the incrementally-refreshed operator is
+bit-identical to a from-scratch ``PreparedDeployment`` on the evolved
+graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.stream import StreamingGraph, make_delta_trace
+from repro.nn import make_model
+from repro.serving import PreparedDeployment
+
+DATASETS = ("pubmed-sim",)
+NUM_DELTAS = 10
+
+
+@pytest.fixture(scope="module")
+def streaming_setup(contexts):
+    setups = {}
+    for dataset in DATASETS:
+        prepared_ds = contexts[dataset].prepared
+        split = prepared_ds.split
+        batch = split.incremental_batch("test")
+        trace = make_delta_trace(
+            split.original, batch.subset(np.arange(3 * NUM_DELTAS)),
+            num_deltas=NUM_DELTAS, nodes_per_delta=3, edges_per_delta=4,
+            removals_per_delta=2, updates_per_delta=2, seed=0)
+        model = make_model("sgc", split.original.feature_dim,
+                           split.num_classes, seed=0)
+        setups[dataset] = (split, trace, model)
+    return setups
+
+
+def _warm_prepared(split, model):
+    prepared = PreparedDeployment(model, "original", split.original)
+    prepared.base_operator()
+    prepared.propagated_base_features()
+    return prepared
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_delta_refresh_incremental(benchmark, streaming_setup, dataset):
+    split, trace, model = streaming_setup[dataset]
+
+    def run():
+        prepared = _warm_prepared(split, model)
+        for delta in trace:
+            prepared.apply_delta(delta)
+        return prepared
+
+    prepared = benchmark.pedantic(run, rounds=3, iterations=1)
+    fresh = PreparedDeployment(model, "original", prepared.base)
+    assert np.array_equal(prepared.base_operator().data,
+                          fresh.base_operator().data)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_delta_refresh_full_rebuild(benchmark, streaming_setup, dataset):
+    split, trace, model = streaming_setup[dataset]
+
+    def run():
+        prepared = _warm_prepared(split, model)
+        for delta in trace:
+            prepared.apply_delta(delta, staleness_threshold=0.0)
+        return prepared
+
+    prepared = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert prepared.num_base == split.original.num_nodes + 3 * NUM_DELTAS
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_raw_stream_splice(benchmark, streaming_setup, dataset):
+    split, trace, _ = streaming_setup[dataset]
+
+    def run():
+        stream = StreamingGraph(split.original)
+        for delta in trace:
+            stream.apply(delta)
+        return stream
+
+    stream = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert stream.num_nodes == split.original.num_nodes + 3 * NUM_DELTAS

@@ -56,7 +56,7 @@ from repro.serving.prepared import PreparedDeployment
 from repro.serving.runtime import ServingRuntime
 from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
-__all__ = ["condense", "deploy", "serve", "open_runtime",
+__all__ = ["condense", "deploy", "serve", "open_runtime", "open_stream",
            "evaluation_batch", "DeploymentBundle"]
 
 
@@ -415,6 +415,46 @@ def open_runtime(bundle: DeploymentBundle | str | Path, *,
         overflow=overflow, precision=precision,
         scheduler_options={"max_batch_size": max_batch_size,
                            "max_wait_ms": max_wait_ms})
+
+
+def open_stream(bundle: DeploymentBundle | str | Path, *,
+                staleness_threshold: float = 0.25,
+                scheduler: str = "microbatch", batch_mode: str = "graph",
+                max_batch_size: int = 32, max_wait_ms: float = 2.0,
+                queue_capacity: int = 1024, overflow: str = "block",
+                precision: str = "exact") -> ServingRuntime:
+    """Open a runtime that serves *and evolves*: a streaming deployment.
+
+    Like :func:`open_runtime`, but the deployment is prepared for
+    :class:`~repro.graph.stream.GraphDelta` ingest: the warm serving
+    caches (normalized operator, degree vector, and — for linear models —
+    the K-hop propagated features) are materialized up front so every
+    ``runtime.ingest(delta)`` refreshes them incrementally instead of
+    paying a first-touch rebuild mid-traffic.  ``staleness_threshold`` is
+    the affected-row fraction beyond which a delta falls back to a full
+    cache rebuild (see
+    :meth:`~repro.serving.prepared.PreparedDeployment.apply_delta`).
+
+    >>> runtime = api.open_stream("artifact.npz")       # doctest: +SKIP
+    >>> with runtime:                                   # doctest: +SKIP
+    ...     runtime.ingest(delta)                       # evolve the base
+    ...     future = runtime.submit(x, connections)     # serve against it
+    """
+    from repro.errors import ServingError
+    runtime = open_runtime(
+        bundle, scheduler=scheduler, batch_mode=batch_mode,
+        max_batch_size=max_batch_size, max_wait_ms=max_wait_ms,
+        queue_capacity=queue_capacity, overflow=overflow,
+        precision=precision)
+    runtime.staleness_threshold = staleness_threshold
+    prepared = runtime.prepared
+    if prepared.deployment == "original":
+        prepared.base_operator()
+        try:
+            prepared.propagated_base_features()
+        except ServingError:
+            pass  # non-linear model: no propagated-feature cache to warm
+    return runtime
 
 
 def evaluation_batch(bundle: DeploymentBundle) -> IncrementalBatch:

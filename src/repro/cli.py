@@ -93,6 +93,13 @@ def build_parser() -> argparse.ArgumentParser:
     condense.add_argument("--partitioner", default="stratified",
                           help="graph partitioner registry key for --shards "
                                "(default: stratified)")
+    condense.add_argument("--deployment", choices=("auto", "synthetic",
+                                                   "original"),
+                          default="auto",
+                          help="serve on the condensed graph (synthetic) or "
+                               "keep the original graph resident — required "
+                               "for full streaming-delta support "
+                               "(default: auto)")
     condense.add_argument("--output", "--artifact", dest="output", default=None,
                           help="write the deployment bundle to this .npz path")
 
@@ -141,6 +148,81 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--closed-loop", action="store_true",
                         help="submit eagerly instead of honouring arrival "
                              "times (no sleeps; measures drain rate)")
+
+    stream = sub.add_parser(
+        "serve-stream",
+        help="drive the serving runtime while the base graph evolves: "
+             "replay a delta trace (node appends, edge churn, feature "
+             "drift) interleaved with serve traffic")
+    stream.add_argument("--artifact", required=True,
+                        help="deployment bundle produced by "
+                             "'repro condense --output' (use --deployment "
+                             "original for full delta support)")
+    stream.add_argument("--deltas", type=int, default=8,
+                        help="deltas in the replay trace (default: 8)")
+    stream.add_argument("--nodes-per-delta", type=int, default=2,
+                        help="nodes appended per delta (default: 2)")
+    stream.add_argument("--edges-per-delta", type=int, default=4,
+                        help="random edges added per delta (default: 4)")
+    stream.add_argument("--removals-per-delta", type=int, default=2,
+                        help="existing edges removed per delta (default: 2)")
+    stream.add_argument("--updates-per-delta", type=int, default=2,
+                        help="feature rows perturbed per delta (default: 2)")
+    stream.add_argument("--requests", type=int, default=64,
+                        help="serve requests to replay (default: 64)")
+    stream.add_argument("--nodes-per-request", type=int, default=1,
+                        help="inductive nodes per request (default: 1)")
+    stream.add_argument("--ingest-every", type=int, default=4,
+                        help="ingest one delta every this many requests "
+                             "(default: 4)")
+    stream.add_argument("--staleness", type=float, default=0.25,
+                        help="affected-row fraction beyond which a delta "
+                             "rebuilds the caches (default: 0.25)")
+    stream.add_argument("--scheduler", default="sizecap",
+                        help="micro-batch scheduler registry key "
+                             "(default: sizecap)")
+    stream.add_argument("--max-batch-size", type=int, default=8,
+                        help="scheduler batch-size cap (default: 8)")
+    stream.add_argument("--batch-mode", choices=("graph", "node"),
+                        default="node")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="delta-trace seed (default: 0)")
+
+    bench_stream = sub.add_parser(
+        "bench-stream",
+        help="run the streaming-evolution benchmark (delta refresh vs "
+             "full rebuild + serve latency under ingest) and write "
+             "BENCH_streaming.json")
+    _add_common(bench_stream)
+    bench_stream.add_argument("--method", default="mcond",
+                              help="reduction method registry key "
+                                   "(default: mcond)")
+    bench_stream.add_argument("--budget", type=int, default=None,
+                              help="synthetic node budget (default: the "
+                                   "dataset's largest registered budget)")
+    bench_stream.add_argument("--scale", type=float, default=1.0,
+                              help="dataset scale multiplier (default: 1.0)")
+    bench_stream.add_argument("--deltas", type=int, default=10,
+                              help="deltas in the trace (default: 10)")
+    bench_stream.add_argument("--nodes-per-delta", type=int, default=3,
+                              help="nodes appended per delta (default: 3)")
+    bench_stream.add_argument("--requests", type=int, default=48,
+                              help="serve requests in the ingest replay "
+                                   "(default: 48)")
+    bench_stream.add_argument("--staleness", type=float, default=0.25,
+                              help="staleness threshold for the "
+                                   "delta-refresh variant (default: 0.25)")
+    bench_stream.add_argument("--batch-mode", choices=("graph", "node"),
+                              default="node")
+    bench_stream.add_argument("--output", default="BENCH_streaming.json",
+                              help="output JSON path "
+                                   "(default: BENCH_streaming.json)")
+    bench_stream.add_argument("--gate", action="store_true",
+                              help="fail (exit 1) unless delta refresh "
+                                   "beats the full rebuild bit-exactly")
+    bench_stream.add_argument("--min-speedup", type=float, default=1.0,
+                              help="refresh speedup the --gate requires "
+                                   "(default: 1.0)")
 
     bench = sub.add_parser(
         "bench",
@@ -237,8 +319,10 @@ def build_parser() -> argparse.ArgumentParser:
     condense.set_defaults(handler=_cmd_condense)
     serve.set_defaults(handler=_cmd_serve)
     online.set_defaults(handler=_cmd_serve_online)
+    stream.set_defaults(handler=_cmd_serve_stream)
     bench.set_defaults(handler=_cmd_bench)
     bench_condense.set_defaults(handler=_cmd_bench_condense)
+    bench_stream.set_defaults(handler=_cmd_bench_stream)
     evaluate.set_defaults(handler=_cmd_eval)
 
     for name in _EXPERIMENTS:
@@ -293,10 +377,11 @@ def _cmd_condense(args) -> int:
         if method != "sharded":
             reducer_options["inner"] = method
         method = "sharded"
+    deployment = None if args.deployment == "auto" else args.deployment
     bundle = api.deploy(args.dataset, method,
                         _default_budget(args) if method else 0,
-                        model=args.model, seed=args.seed,
-                        profile=_profile(args),
+                        model=args.model, deployment=deployment,
+                        seed=args.seed, profile=_profile(args),
                         reducer_options=reducer_options)
     if reducer_options is not None:
         print(f"sharded offline phase: {reducer_options['shards']} shards, "
@@ -353,6 +438,97 @@ def _cmd_serve_online(args) -> int:
           f"{stats.compute_mean * 1e3:.2f} ms (means)")
     print(f"  throughput            {stats.throughput_rps:.0f} req/s "
           f"({stats.mean_batch_requests:.1f} req/batch)")
+    return 0
+
+
+def _cmd_serve_stream(args) -> int:
+    import numpy as np
+
+    from repro.graph.stream import GraphDelta, make_delta_trace
+    from repro.serving import replay_stream, split_requests
+
+    bundle = api.DeploymentBundle.load(args.artifact)
+    print(bundle)
+    runtime = api.open_stream(bundle, scheduler=args.scheduler,
+                              batch_mode=args.batch_mode,
+                              max_batch_size=args.max_batch_size,
+                              staleness_threshold=args.staleness)
+    batch = api.evaluation_batch(bundle)
+    reserved = args.deltas * args.nodes_per_delta
+    if reserved >= batch.num_nodes:
+        raise ConfigError(
+            f"delta trace wants {reserved} nodes but the evaluation batch "
+            f"holds {batch.num_nodes}; lower --deltas/--nodes-per-delta")
+    if bundle.deployment == "original":
+        trace = make_delta_trace(
+            bundle.base, batch.subset(np.arange(reserved)),
+            num_deltas=args.deltas, nodes_per_delta=args.nodes_per_delta,
+            edges_per_delta=args.edges_per_delta,
+            removals_per_delta=args.removals_per_delta,
+            updates_per_delta=args.updates_per_delta, seed=args.seed)
+    else:
+        # a synthetic deployment streams node appends only (the mapping
+        # grows zero rows; edge/feature changes need recondensation)
+        trace = [
+            GraphDelta(add_features=batch.features[
+                i * args.nodes_per_delta:(i + 1) * args.nodes_per_delta])
+            for i in range(args.deltas)]
+    request_pool = batch.subset(np.arange(reserved, batch.num_nodes))
+    requests = split_requests(request_pool, args.requests,
+                              args.nodes_per_request)
+    replay_stream(runtime, requests, trace, args.ingest_every)
+    stats = runtime.stats()
+    stream = runtime.stream_stats()
+    print(f"served {stats.requests} requests ({stats.nodes} nodes) in "
+          f"{stats.batches} micro-batches while ingesting "
+          f"{stream['deltas']} deltas")
+    print(f"  latency p50/p95/p99   {stats.latency_p50 * 1e3:.2f} / "
+          f"{stats.latency_p95 * 1e3:.2f} / {stats.latency_p99 * 1e3:.2f} ms")
+    refresh_ms = stream["refresh_mean_ms"]
+    refresh = f"{refresh_ms:.2f} ms mean" if refresh_ms is not None else "n/a"
+    print(f"  delta refresh         {stream['incremental']} incremental, "
+          f"{stream['rebuilds']} rebuilds ({refresh})")
+    print(f"  base graph            {runtime.prepared.num_base} nodes "
+          f"(+{stream['appended_nodes']} streamed)")
+    return 0
+
+
+def _cmd_bench_stream(args) -> int:
+    from repro.serving import (
+        check_streaming_benchmark_schema,
+        gate_streaming_benchmark,
+        run_streaming_benchmark,
+        write_benchmark_json,
+    )
+
+    result = run_streaming_benchmark(
+        args.dataset, method=args.method, budget=args.budget, seed=args.seed,
+        scale=args.scale, profile=args.effort, num_deltas=args.deltas,
+        nodes_per_delta=args.nodes_per_delta, num_requests=args.requests,
+        staleness_threshold=args.staleness, batch_mode=args.batch_mode)
+    check_streaming_benchmark_schema(result)
+    path = write_benchmark_json(result, args.output)
+    refresh = result["refresh"]
+    print(f"delta refresh  {refresh['delta_refresh']['ms_mean']:.2f} ms/delta "
+          f"({refresh['delta_refresh']['modes']})")
+    print(f"full rebuild   {refresh['full_rebuild']['ms_mean']:.2f} ms/delta")
+    print(f"speedup        {refresh['speedup']:.2f}x")
+    serving = result["serving"]
+    print(f"serve p95      {serving['with_ingest']['latency_p95_ms']:.2f} ms "
+          f"under ingest vs {serving['no_ingest']['latency_p95_ms']:.2f} ms "
+          "frozen")
+    print(f"parity         "
+          f"{'ok' if result['parity']['bit_identical'] else 'BROKEN'}")
+    print(f"wrote {path}")
+    if args.gate:
+        failures = gate_streaming_benchmark(result,
+                                            min_speedup=args.min_speedup)
+        if failures:
+            for failure in failures:
+                print(f"perf gate: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed: delta refresh beats the full rebuild "
+              f"({refresh['speedup']:.2f}x) with bitwise parity")
     return 0
 
 

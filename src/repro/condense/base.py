@@ -212,11 +212,20 @@ class GraphReducer:
         raise NotImplementedError
 
     def _check_budget(self, split: InductiveSplit, budget: int) -> None:
+        # Classes *present* among the labeled nodes, not the dataset's
+        # global class count: a sharded run hands each worker a split
+        # whose labeled subset may miss classes entirely (e.g. a
+        # coalesced single-class shard), and only present classes ever
+        # receive synthetic nodes (see allocate_class_counts).
         num_classes = split.num_classes
+        if split.full.labels is not None and split.labeled_idx.size:
+            num_classes = int(
+                np.unique(split.full.labels[split.labeled_idx]).size)
         if budget < num_classes:
             raise CondensationError(
-                f"budget {budget} is below the class count {num_classes}; "
-                "every class needs at least one synthetic node")
+                f"budget {budget} is below the labeled class count "
+                f"{num_classes}; every present class needs at least one "
+                "synthetic node")
         if budget >= split.original.num_nodes:
             raise CondensationError(
                 f"budget {budget} is not smaller than the original graph "

@@ -64,12 +64,17 @@ SHARED_PROFILE_PARAMS = ("outer_loops", "match_steps", "mapping_steps",
 # Budget apportionment and shard hygiene
 # ----------------------------------------------------------------------
 def apportion_budget(labeled_counts: np.ndarray, sizes: np.ndarray,
-                     budget: int, min_per_shard: int) -> np.ndarray:
+                     budget: int,
+                     min_per_shard: int | np.ndarray) -> np.ndarray:
     """Split ``budget`` across shards proportionally to labeled mass.
 
-    Every shard receives at least ``min_per_shard`` synthetic nodes (one
-    per class, so class-balanced reducers stay well-posed) and at most
-    ``size - 1`` (a reduction must shrink its shard).  The remainder is
+    Every shard receives at least its ``min_per_shard`` floor of
+    synthetic nodes (one per class *present in that shard* — a shard
+    whose labeled nodes all share one class after coalescing needs a
+    floor of 1, not one per global class; demanding the global floor can
+    exceed the budget the shard was ever going to get) and at most
+    ``size - 1`` (a reduction must shrink its shard).  ``min_per_shard``
+    may be a scalar floor or a per-shard array.  The remainder is
     distributed one node at a time to the shard with the largest deficit
     against its proportional target — deterministic, exact, and
     label-aware: densely-labeled shards get proportionally more of the
@@ -79,18 +84,20 @@ def apportion_budget(labeled_counts: np.ndarray, sizes: np.ndarray,
     labeled_counts = np.asarray(labeled_counts, dtype=np.float64)
     sizes = np.asarray(sizes, dtype=np.int64)
     num_shards = sizes.size
-    if budget < num_shards * min_per_shard:
+    floors = np.broadcast_to(
+        np.asarray(min_per_shard, dtype=np.int64), (num_shards,)).copy()
+    if budget < int(floors.sum()):
         raise CondensationError(
-            f"budget {budget} cannot give each of {num_shards} shards "
-            f"{min_per_shard} synthetic nodes (one per class); "
+            f"budget {budget} cannot cover the per-shard class floors "
+            f"(total {int(floors.sum())} across {num_shards} shards); "
             "use fewer shards or a larger budget")
     caps = sizes - 1
-    allocation = np.full(num_shards, min_per_shard, dtype=np.int64)
+    allocation = floors
     if np.any(caps < allocation):
         tight = int(np.flatnonzero(caps < allocation)[0])
         raise CondensationError(
             f"shard {tight} has only {sizes[tight]} nodes — too small to "
-            f"host {min_per_shard} synthetic nodes")
+            f"host {int(allocation[tight])} synthetic nodes")
     if labeled_counts.sum() <= 0:
         raise CondensationError("no shard holds any labeled node")
     target = labeled_counts / labeled_counts.sum() * budget
@@ -314,8 +321,15 @@ class ShardedReducer(GraphReducer):
         sizes = np.asarray([p.size for p in shard_positions], dtype=np.int64)
         labeled_counts = np.asarray(
             [int(labeled_mask[p].sum()) for p in shard_positions])
+        # Per-shard floor: one synthetic node per class *present* in the
+        # shard's labeled set.  A coalesced shard whose labeled nodes are
+        # all one class must not be forced to host the global class
+        # floor — that can exceed its budget (or the whole budget).
+        class_floors = np.asarray([
+            int(np.unique(graph.labels[p[labeled_mask[p]]]).size)
+            for p in shard_positions], dtype=np.int64)
         budgets = apportion_budget(labeled_counts, sizes, budget,
-                                   min_per_shard=split.num_classes)
+                                   min_per_shard=class_floors)
         supports = assign_support(split, shard_positions)
 
         config = self._inner_config()

@@ -31,6 +31,13 @@ from repro.graph.datasets import (
     make_split,
 )
 from repro.graph.sampling import EdgeBatch, sample_edge_batch, iterate_minibatches
+from repro.graph.stream import (
+    DeltaEffect,
+    GraphDelta,
+    StreamingGraph,
+    make_delta_trace,
+    splice_csr_rows,
+)
 from repro.graph.partition import (
     PARTITIONERS,
     bfs_order,
@@ -53,6 +60,8 @@ __all__ = [
     "DatasetSpec", "IncrementalBatch", "InductiveSplit", "DATASET_SPECS",
     "dataset_names", "load_dataset", "make_split",
     "EdgeBatch", "sample_edge_batch", "iterate_minibatches",
+    "DeltaEffect", "GraphDelta", "StreamingGraph", "make_delta_trace",
+    "splice_csr_rows",
     "PARTITIONERS", "bfs_order", "check_partition",
     "degree_balanced_partition", "make_partitioner", "register_partitioner",
     "stratified_partition",

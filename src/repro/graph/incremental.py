@@ -105,15 +105,60 @@ def attach_to_original(
     return AttachedGraph(augmented, features, num_base, num_new)
 
 
-def convert_connections(incremental: sp.spmatrix, mapping: np.ndarray | sp.spmatrix) -> sp.csr_matrix:
+def _canonical_incremental(incremental, dedup: str) -> sp.csr_matrix:
+    """Canonicalize the raw incremental adjacency under a dedup policy.
+
+    Edge feeds (COO triplet lists, logs of arrivals) can name the same
+    ``(row, col)`` pair more than once.  Before this was made explicit,
+    duplicated pairs were silently *summed* by the CSR conversion —
+    double-counting what the producer meant as one edge.  The policy is
+    now a named choice:
+
+    - ``"sum"`` (default) — duplicates accumulate weight, canonicalized
+      with ``sum_duplicates()`` so the ``a @ M`` accumulation order is
+      deterministic.  This keeps the historical Eq. (11) semantics for
+      genuinely weighted multi-edges.
+    - ``"distinct"`` — duplicated pairs collapse to a single edge keeping
+      the largest weight (for 0/1 adjacencies: exactly one edge), the
+      right policy for at-least-once edge feeds.
+    """
+    if dedup not in ("sum", "distinct"):
+        raise GraphError(f"dedup must be 'sum' or 'distinct', got {dedup!r}")
+    if not sp.issparse(incremental):
+        # a dense array cannot express duplicate entries
+        return sp.csr_matrix(np.asarray(incremental, dtype=np.float64))
+    if dedup == "sum":
+        inc = incremental.tocsr().astype(np.float64)
+        inc.sum_duplicates()
+        return inc
+    coo = incremental.tocoo()
+    if coo.nnz == 0:
+        return sp.csr_matrix(coo.shape, dtype=np.float64)
+    order = np.lexsort((coo.data, coo.col, coo.row))
+    row, col = coo.row[order], coo.col[order]
+    data = coo.data.astype(np.float64)[order]
+    # the last entry of each sorted duplicate run holds the max weight
+    last = np.ones(order.size, dtype=bool)
+    last[:-1] = (row[:-1] != row[1:]) | (col[:-1] != col[1:])
+    return sp.csr_matrix((data[last], (row[last], col[last])), shape=coo.shape)
+
+
+def convert_connections(incremental: sp.spmatrix,
+                        mapping: np.ndarray | sp.spmatrix, *,
+                        dedup: str = "sum") -> sp.csr_matrix:
     """Compute the converted connections ``aM`` of Eq. (11).
 
     ``incremental`` is the ``(n, N)`` incremental adjacency into the original
     graph; ``mapping`` is the ``(N, N')`` mapping matrix.  Returns a sparse
     ``(n, N')`` matrix of weighted edges onto the synthetic nodes.
+
+    ``dedup`` names the policy for duplicated ``(row, col)`` entries in
+    the raw input (see :func:`_canonical_incremental`): ``"sum"``
+    accumulates them, ``"distinct"`` collapses them to one edge.  Either
+    way the input is canonicalized first, so duplicate entries can no
+    longer be double-counted silently by the CSR conversion.
     """
-    inc = incremental.tocsr().astype(np.float64) if sp.issparse(incremental) \
-        else sp.csr_matrix(np.asarray(incremental, dtype=np.float64))
+    inc = _canonical_incremental(incremental, dedup)
     if not sp.issparse(mapping):
         mapping = np.asarray(mapping, dtype=np.float64)
     if inc.shape[1] != mapping.shape[0]:
@@ -134,13 +179,16 @@ def attach_to_synthetic(
     new_features: np.ndarray,
     mapping: np.ndarray | sp.spmatrix,
     intra: sp.spmatrix | None = None,
+    dedup: str = "sum",
 ) -> AttachedGraph:
     """Eq. (11): append inductive nodes to the *synthetic* graph via ``aM``.
 
     Parameters mirror :func:`attach_to_original`, except the base graph is
     the synthetic one (``A'``, ``X'``) and ``mapping`` is the learned
     ``(N, N')`` matrix used to convert the incremental adjacency.
+    ``dedup`` is the duplicate-entry policy forwarded to
+    :func:`convert_connections`.
     """
-    converted = convert_connections(incremental, mapping)
+    converted = convert_connections(incremental, mapping, dedup=dedup)
     return attach_to_original(
         synthetic_adjacency, synthetic_features, converted, new_features, intra)

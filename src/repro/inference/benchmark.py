@@ -20,17 +20,25 @@ __all__ = ["TimingStats", "latency_percentiles", "time_callable",
 PERCENTILES = (50.0, 95.0, 99.0)
 
 
-def latency_percentiles(samples) -> dict[str, float]:
+def latency_percentiles(samples, *,
+                        empty: float | None = None) -> dict[str, float]:
     """``{"p50": ..., "p95": ..., "p99": ...}`` of a latency sample set.
 
     The single quantile implementation shared by :class:`TimingStats` and
     the serving runtime's per-request accounting
     (:mod:`repro.serving.stats`) — percentile semantics (linear
     interpolation) stay consistent across every latency report.
+
+    With no samples the default is to raise; pass ``empty`` (typically
+    ``float("nan")``) to get that value back for every percentile instead
+    — the NaN-safe shape a runtime polled before its first completed
+    request needs.
     """
     arr = np.asarray(samples, dtype=np.float64)
     if arr.size == 0:
-        raise InferenceError("percentiles need at least one sample")
+        if empty is None:
+            raise InferenceError("percentiles need at least one sample")
+        return {f"p{int(p)}": float(empty) for p in PERCENTILES}
     values = np.percentile(arr, PERCENTILES)
     return {f"p{int(p)}": float(v) for p, v in zip(PERCENTILES, values)}
 

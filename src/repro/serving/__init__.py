@@ -11,14 +11,19 @@ for.  The pieces:
 - :mod:`~repro.serving.queue` — bounded admission with backpressure;
 - :mod:`~repro.serving.workload` — Poisson/bursty/ramp traffic shapes;
 - :mod:`~repro.serving.stats` — p50/p95/p99 latency accounting;
-- :mod:`~repro.serving.bench` — the ``repro bench`` latency benchmark.
+- :mod:`~repro.serving.bench` — the ``repro bench`` latency benchmark;
+- :mod:`~repro.serving.stream_bench` — the ``repro bench-stream``
+  streaming-evolution benchmark (delta refresh vs full rebuild).
 
-Entry point: ``repro.api.open_runtime(bundle)``.
+Entry points: ``repro.api.open_runtime(bundle)`` for a frozen deployment,
+``repro.api.open_stream(bundle)`` for one that ingests
+:class:`~repro.graph.stream.GraphDelta` traffic while serving.
 """
 
-from repro.serving.prepared import PreparedDeployment
+from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
 from repro.serving.queue import BoundedRequestQueue, QueueFullError
 from repro.serving.runtime import (
+    IngestFuture,
     Request,
     ServingFuture,
     ServingRuntime,
@@ -36,6 +41,7 @@ from repro.serving.workload import (
     RampWorkload,
     WorkloadGenerator,
     replay,
+    replay_stream,
     split_requests,
 )
 from repro.serving.bench import (
@@ -44,15 +50,24 @@ from repro.serving.bench import (
     run_serving_benchmark,
     write_benchmark_json,
 )
+from repro.serving.stream_bench import (
+    STREAM_BENCH_SCHEMA_VERSION,
+    check_streaming_benchmark_schema,
+    gate_streaming_benchmark,
+    run_streaming_benchmark,
+)
 
 __all__ = [
-    "PreparedDeployment",
+    "PreparedDeployment", "DeltaRefreshReport",
     "BoundedRequestQueue", "QueueFullError",
-    "ServingRuntime", "ServingFuture", "Request", "merge_requests",
+    "ServingRuntime", "ServingFuture", "IngestFuture", "Request",
+    "merge_requests",
     "MicroBatchScheduler", "ImmediateScheduler", "SizeCapScheduler",
     "LatencyAccounting", "RequestRecord", "RuntimeStats",
     "WorkloadGenerator", "PoissonWorkload", "BurstyWorkload", "RampWorkload",
-    "split_requests", "replay",
+    "split_requests", "replay", "replay_stream",
     "BENCH_SCHEMA_VERSION", "run_serving_benchmark", "write_benchmark_json",
     "check_benchmark_schema",
+    "STREAM_BENCH_SCHEMA_VERSION", "check_streaming_benchmark_schema",
+    "gate_streaming_benchmark", "run_streaming_benchmark",
 ]

@@ -40,6 +40,7 @@ are bitwise identical — verified by the parity tests.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
@@ -49,13 +50,44 @@ from repro.condense.base import CondensedGraph
 from repro.graph.datasets import IncrementalBatch
 from repro.graph.graph import Graph
 from repro.graph.incremental import convert_connections
-from repro.graph.ops import add_self_loops, symmetric_normalize
+from repro.graph.ops import add_self_loops
+from repro.graph.stream import (
+    GraphDelta,
+    StreamingGraph,
+    csr_row_positions,
+    grow_buffer,
+    splice_csr_rows,
+)
 from repro.inference.engine import validate_deployment
 from repro.nn.models import GNNModel, SGC
 from repro.tensor.sparse import sparse_memory_bytes
 from repro.tensor.tensor import Tensor, no_grad
 
-__all__ = ["PreparedDeployment"]
+__all__ = ["PreparedDeployment", "DeltaRefreshReport"]
+
+
+@dataclass(frozen=True)
+class DeltaRefreshReport:
+    """What one :meth:`PreparedDeployment.apply_delta` call did.
+
+    ``mode`` is ``"incremental"`` (touched rows respliced, materialized
+    caches refreshed row-wise), ``"rebuild"`` (past the staleness
+    threshold — materialized caches recomputed from scratch),
+    ``"append-mapping"`` (synthetic deployment: mapping grew zero rows),
+    or ``"noop"``.  ``refreshed`` names the caches brought up to date,
+    ``invalidated`` the ones dropped for lazy recomputation (the warm
+    base logits — a full model forward — are never patched in place
+    because BLAS row-subset products are not bitwise reproducible).
+    """
+
+    mode: str
+    seconds: float
+    num_base: int
+    appended: int
+    touched_rows: int
+    affected_rows: int
+    refreshed: tuple[str, ...] = ()
+    invalidated: tuple[str, ...] = ()
 
 
 def _canonical_csr(matrix, shape: tuple[int, int], name: str) -> sp.csr_matrix:
@@ -145,10 +177,14 @@ class PreparedDeployment:
         self.feature_dim = int(self.base_features.shape[1])
         # warm-base caches, built on first use (they cost one standalone
         # forward and are only needed by warm lookups / the frozen path)
+        self._loop_degrees: np.ndarray | None = None
         self._base_operator: sp.csr_matrix | None = None
         self._propagated: list[np.ndarray] | None = None
+        self._hop_buffers: list[np.ndarray] | None = None
         self._base_logits: np.ndarray | None = None
         self._frozen_inv_base: np.ndarray | None = None
+        # the evolving view of the deployed graph, created on first delta
+        self._stream: StreamingGraph | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -293,11 +329,38 @@ class PreparedDeployment:
     # ------------------------------------------------------------------
     # Warm base cache (standalone graph, no inductive nodes)
     # ------------------------------------------------------------------
+    def _degrees(self) -> np.ndarray:
+        """Row sums of ``base_loops`` — scipy's ``sum(axis=1)`` bit for bit
+        (``reduceat`` pairwise summation), cached for incremental refresh."""
+        if self._loop_degrees is None:
+            self._loop_degrees = _reduceat_row_sums(
+                self.base_loops.data, self.base_loops.indptr[:-1],
+                self._base_counts)
+        return self._loop_degrees
+
+    def _scaled_operator(self, inv_sqrt: np.ndarray) -> sp.csr_matrix:
+        """``D^{-1/2} (A+I) D^{-1/2}`` by elementwise scaling.
+
+        Shares ``base_loops``' index structure (no sparse matmuls) and is
+        bitwise identical to ``symmetric_normalize(base_loops,
+        self_loops=False)``: the diagonal products multiply in the same
+        ``(d_i^{-1/2} * a_ij) * d_j^{-1/2}`` order and preserve the
+        canonical stored layout (asserted by the parity tests).
+        """
+        loops = self.base_loops
+        rows = np.repeat(np.arange(self.num_base, dtype=np.int64),
+                         self._base_counts)
+        data = (inv_sqrt[rows] * loops.data) * inv_sqrt[loops.indices]
+        operator = sp.csr_matrix((data, loops.indices, loops.indptr),
+                                 shape=loops.shape)
+        operator.has_sorted_indices = True
+        return operator
+
     def base_operator(self) -> sp.csr_matrix:
         """Standalone normalized operator of the deployed graph."""
         if self._base_operator is None:
-            self._base_operator = symmetric_normalize(self.base_loops,
-                                                      self_loops=False)
+            self._base_operator = self._scaled_operator(
+                _inv_sqrt(self._degrees()))
         return self._base_operator
 
     def warm_base(self) -> np.ndarray:
@@ -331,14 +394,14 @@ class PreparedDeployment:
             for _ in range(self.model.k_hops):
                 hops.append(np.asarray(operator @ hops[-1]))
             self._propagated = hops
+            self._hop_buffers = None  # fresh arrays, no grown capacity yet
         return self._propagated
 
     def _standalone_inv_sqrt_degrees(self) -> np.ndarray:
         """``D^{-1/2}`` of the standalone base graph — request-invariant,
         computed once for the frozen path."""
         if self._frozen_inv_base is None:
-            degree = np.asarray(self.base_loops.sum(axis=1)).reshape(-1)
-            self._frozen_inv_base = _inv_sqrt(degree)
+            self._frozen_inv_base = _inv_sqrt(self._degrees())
         return self._frozen_inv_base
 
     def serve_batch_frozen(self, batch: IncrementalBatch,
@@ -389,6 +452,312 @@ class PreparedDeployment:
         memory = self._memory_bytes(n, inc_nnz_raw, int(ea_raw.nnz),
                                     self.num_base + n)
         return logits.data, elapsed, memory
+
+    # ------------------------------------------------------------------
+    # Streaming evolution (incremental cache refresh)
+    # ------------------------------------------------------------------
+    def apply_delta(self, delta: GraphDelta, *,
+                    staleness_threshold: float = 0.25) -> DeltaRefreshReport:
+        """Evolve the deployed base graph by one :class:`GraphDelta`.
+
+        The base block (``base_loops``, row counts, features) is always
+        updated by row splicing.  Materialized warm caches — the degree
+        vector, the standalone normalized operator, the frozen-path
+        scaling and the K-hop propagated features — are refreshed
+        *incrementally*: only rows whose (per-hop) neighborhood touches
+        the delta are recomputed.  When the affected row fraction exceeds
+        ``staleness_threshold`` the materialized caches are rebuilt from
+        scratch instead.  Either way the resulting state is bit-for-bit
+        what a from-scratch ``PreparedDeployment`` on the post-delta
+        graph would hold (the parity suite asserts this), so served
+        logits are bitwise unchanged by the refresh strategy.
+
+        Synthetic deployments serve through the mapping matrix and never
+        hold the original graph; for them only node appends are
+        streamable (the mapping gains zero rows, so requests may cite
+        the new original-node ids) — edge or feature changes require
+        recondensation and raise :class:`~repro.errors.ServingError`.
+        """
+        if not isinstance(delta, GraphDelta):
+            raise ServingError(
+                f"apply_delta needs a GraphDelta, got {type(delta).__name__}")
+        if not 0.0 <= staleness_threshold <= 1.0:
+            raise ServingError(
+                f"staleness_threshold must be in [0, 1], "
+                f"got {staleness_threshold}")
+        start = time.perf_counter()
+        if delta.is_noop():
+            return DeltaRefreshReport(
+                mode="noop", seconds=time.perf_counter() - start,
+                num_base=self.num_base, appended=0, touched_rows=0,
+                affected_rows=0)
+        if self.deployment == "synthetic":
+            return self._apply_delta_synthetic(delta, start)
+
+        if self._stream is None:
+            self._stream = StreamingGraph(self.base)
+        effect = self._stream.apply(delta)
+        old_base = self.num_base
+        self.base = effect.graph
+        raw = effect.graph.adjacency
+        new_n = effect.num_nodes
+        touched = effect.touched_rows
+        touched_existing = touched[touched < old_base]
+
+        # --- base block: row splice (always incremental) --------------
+        replaced = self._loops_block(effect.replaced_block, touched_existing,
+                                     new_n)
+        appended_block = (self._loops_block(
+            effect.appended_block,
+            np.arange(old_base, new_n, dtype=np.int64), new_n)
+            if effect.appended else None)
+        self.base_loops = splice_csr_rows(
+            self.base_loops, touched_existing, replaced,
+            num_cols=new_n, append=appended_block)
+        self.num_base = new_n
+        self._base_counts = np.diff(self.base_loops.indptr)
+        self._raw_nnz = int(raw.nnz)
+        self.base_features = np.ascontiguousarray(effect.graph.features)
+
+        # --- derived caches -------------------------------------------
+        materialized = (self._loop_degrees is not None
+                        or self._base_operator is not None
+                        or self._frozen_inv_base is not None
+                        or self._propagated is not None)
+        invalidated: list[str] = []
+        if self._base_logits is not None:
+            self._base_logits = None
+            invalidated.append("warm_logits")
+        if not materialized:
+            return DeltaRefreshReport(
+                mode="incremental", seconds=time.perf_counter() - start,
+                num_base=new_n, appended=effect.appended,
+                touched_rows=int(touched.size), affected_rows=0,
+                invalidated=tuple(invalidated))
+
+        affected = self._affected_operator_rows(touched)
+        if affected.size > staleness_threshold * new_n:
+            refreshed = self._rebuild_caches()
+            return DeltaRefreshReport(
+                mode="rebuild", seconds=time.perf_counter() - start,
+                num_base=new_n, appended=effect.appended,
+                touched_rows=int(touched.size),
+                affected_rows=int(affected.size),
+                refreshed=refreshed, invalidated=tuple(invalidated))
+        refreshed = self._refresh_caches(effect, touched, affected, old_base,
+                                         touched_existing, replaced,
+                                         appended_block)
+        return DeltaRefreshReport(
+            mode="incremental", seconds=time.perf_counter() - start,
+            num_base=new_n, appended=effect.appended,
+            touched_rows=int(touched.size), affected_rows=int(affected.size),
+            refreshed=refreshed, invalidated=tuple(invalidated))
+
+    def _apply_delta_synthetic(self, delta: GraphDelta,
+                               start: float) -> DeltaRefreshReport:
+        if (delta.add_edges.size or delta.remove_edges.size
+                or delta.update_index is not None):
+            raise ServingError(
+                "a synthetic deployment serves through its mapping; "
+                "streaming deltas may only append original-graph nodes "
+                "(edge or feature changes to the original graph require "
+                "recondensation)")
+        m = delta.num_new_nodes
+        if delta.add_features.shape[1] != self.feature_dim:
+            raise GraphError(
+                f"appended feature dim {delta.add_features.shape[1]} != "
+                f"deployment feature dim {self.feature_dim}")
+        self.mapping = sp.vstack(
+            [self.mapping,
+             sp.csr_matrix((m, self.mapping.shape[1]), dtype=np.float64)],
+            format="csr")
+        self._mapping_bytes = sparse_memory_bytes(self.mapping)
+        return DeltaRefreshReport(
+            mode="append-mapping", seconds=time.perf_counter() - start,
+            num_base=self.num_base, appended=m, touched_rows=0,
+            affected_rows=0, refreshed=("mapping",))
+
+    def _loops_block(self, block: sp.csr_matrix | None, rows: np.ndarray,
+                     width: int) -> sp.csr_matrix:
+        """The ``add_self_loops(raw)`` content of ``rows``, built from the
+        delta's rebuilt raw rows (``block``, same order): drop diagonal
+        and explicit-zero entries, insert a 1.0 diagonal, column-sort —
+        bit-identical to the rows of the full rebuild."""
+        if rows.size == 0 or block is None:
+            return sp.csr_matrix((0, width), dtype=np.float64)
+        rep = np.repeat(np.arange(rows.size, dtype=np.int64),
+                        np.diff(block.indptr))
+        keep = (block.indices != rows[rep]) & (block.data != 0.0)
+        cols = np.concatenate([block.indices[keep].astype(np.int64), rows])
+        vals = np.concatenate([block.data[keep],
+                               np.ones(rows.size, dtype=np.float64)])
+        rowid = np.concatenate([rep[keep],
+                                np.arange(rows.size, dtype=np.int64)])
+        order = np.lexsort((cols, rowid))
+        counts = np.bincount(rowid, minlength=rows.size)
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        out = sp.csr_matrix((vals[order], cols[order], indptr),
+                            shape=(rows.size, width))
+        out.has_sorted_indices = True
+        return out
+
+    def _affected_operator_rows(self, touched: np.ndarray) -> np.ndarray:
+        """Rows whose normalized-operator content the delta changes:
+        the touched rows plus every row holding an entry in a touched
+        column (their scale factor changed)."""
+        mask = np.zeros(self.num_base, dtype=bool)
+        mask[touched] = True
+        return np.unique(np.concatenate(
+            [touched, self._rows_with_columns_in(self.base_loops, mask)]))
+
+    @staticmethod
+    def _rows_with_columns_in(matrix: sp.csr_matrix,
+                              mask: np.ndarray) -> np.ndarray:
+        hit = mask[matrix.indices]
+        rows = np.repeat(np.arange(matrix.shape[0], dtype=np.int64),
+                         np.diff(matrix.indptr))
+        return np.unique(rows[hit])
+
+    def _respliced_operator(self, affected: np.ndarray,
+                            old_base: int) -> sp.csr_matrix:
+        """Row-wise operator refresh: unaffected rows copy their old data
+        bytes (their entries and both scale factors are unchanged, so the
+        bits are the fresh bits); affected rows are rescaled elementwise.
+        O(affected nnz) flops plus one O(nnz) memcpy — no full rescale."""
+        loops = self.base_loops
+        old = self._base_operator
+        inv_sqrt = _inv_sqrt(self._degrees())
+        indptr = loops.indptr
+        data = np.empty(int(indptr[-1]), dtype=np.float64)
+        # Unaffected rows keep identical content; only their offsets
+        # shifted (at touched rows).  Consecutive kept rows are therefore
+        # contiguous in both data arrays — copy them as whole runs
+        # between affected rows (a handful of bulk memcpys) instead of
+        # entry-wise gathers.
+        existing = affected[affected < old_base]
+        run_starts = np.concatenate([[0], existing + 1])
+        run_ends = np.concatenate([existing, [old_base]])
+        for start_row, end_row in zip(run_starts, run_ends):
+            if start_row < end_row:
+                data[indptr[start_row]:indptr[end_row]] = \
+                    old.data[old.indptr[start_row]:old.indptr[end_row]]
+        if affected.size:
+            pos = csr_row_positions(indptr, affected)
+            counts = (indptr[affected + 1] - indptr[affected]).astype(np.int64)
+            rows = np.repeat(affected, counts)
+            data[pos] = ((inv_sqrt[rows] * loops.data[pos])
+                         * inv_sqrt[loops.indices[pos]])
+        operator = sp.csr_matrix((data, loops.indices, indptr),
+                                 shape=loops.shape)
+        operator.has_sorted_indices = True
+        return operator
+
+    def _rebuild_caches(self) -> tuple[str, ...]:
+        """Full from-scratch rematerialization of whatever was built."""
+        had_operator = self._base_operator is not None
+        had_frozen = self._frozen_inv_base is not None
+        had_propagated = self._propagated is not None
+        had_degrees = self._loop_degrees is not None
+        self._loop_degrees = None
+        self._base_operator = None
+        self._frozen_inv_base = None
+        self._propagated = None
+        self._hop_buffers = None
+        refreshed = []
+        if had_degrees:
+            self._degrees()
+            refreshed.append("degrees")
+        if had_operator:
+            self.base_operator()
+            refreshed.append("operator")
+        if had_frozen:
+            self._standalone_inv_sqrt_degrees()
+            refreshed.append("frozen_scale")
+        if had_propagated:
+            self.propagated_base_features()
+            refreshed.append("propagated")
+        return tuple(refreshed)
+
+    def _refresh_caches(self, effect, touched: np.ndarray,
+                        affected: np.ndarray, old_base: int,
+                        touched_existing: np.ndarray,
+                        replaced: sp.csr_matrix,
+                        appended_block: sp.csr_matrix | None) -> tuple[str, ...]:
+        """Row-wise refresh of the materialized caches (bit-exact)."""
+        refreshed = []
+        appended = self.num_base - old_base
+        if self._loop_degrees is not None:
+            degrees = self._loop_degrees
+            if appended:
+                degrees = np.concatenate(
+                    [degrees, np.zeros(appended, dtype=np.float64)])
+            else:
+                degrees = degrees.copy()
+            # the spliced blocks hold exactly the touched rows' content —
+            # row sums come from them, no re-slice of base_loops needed
+            degrees[touched_existing] = _reduceat_row_sums(
+                replaced.data, replaced.indptr[:-1], np.diff(replaced.indptr))
+            if appended_block is not None:
+                degrees[old_base:] = _reduceat_row_sums(
+                    appended_block.data, appended_block.indptr[:-1],
+                    np.diff(appended_block.indptr))
+            self._loop_degrees = degrees
+            refreshed.append("degrees")
+        if self._base_operator is not None:
+            self._base_operator = self._respliced_operator(affected, old_base)
+            refreshed.append("operator")
+        if self._frozen_inv_base is not None:
+            self._frozen_inv_base = _inv_sqrt(self._degrees())
+            refreshed.append("frozen_scale")
+        if self._propagated is not None:
+            self._refresh_propagated(effect, affected, old_base)
+            refreshed.append("propagated")
+        return tuple(refreshed)
+
+    def _refresh_propagated(self, effect, affected: np.ndarray,
+                            old_base: int) -> None:
+        """Per-hop refresh: a hop-``k`` row is recomputed when its
+        operator row changed or a neighbor's hop-``k-1`` row changed —
+        the delta's k-hop neighborhood, exactly.  Hop arrays are updated
+        in place (or grown once per hop on node appends); untouched rows
+        keep their bytes."""
+        operator = self.base_operator()  # already refreshed
+        old_hops = self._propagated
+        grew = self.num_base > old_base
+        if self._hop_buffers is None or len(self._hop_buffers) != len(old_hops):
+            # the current hop arrays double as capacity-N buffers
+            self._hop_buffers = list(old_hops)
+        # Per-hop changed sets grow monotonically (the operator's
+        # self-loops make every row its own neighbor), so the last hop's
+        # set covers them all; recomputing a not-yet-changed row at an
+        # earlier hop reproduces its value bit for bit (same inputs, same
+        # per-row fold).  One row gather then serves every hop.
+        prev_changed = effect.feature_rows
+        changed = affected
+        for _ in range(1, len(old_hops)):
+            if prev_changed.size:
+                mask = np.zeros(self.num_base, dtype=bool)
+                mask[prev_changed] = True
+                neighbor = self._rows_with_columns_in(operator, mask)
+                changed = np.unique(np.concatenate([affected, neighbor]))
+            prev_changed = changed
+        gathered = operator[changed] if changed.size else None
+        new_hops = [self.base_features]
+        for k in range(1, len(old_hops)):
+            if grew:
+                buffer = self._hop_buffers[k]
+                if buffer.shape[0] < self.num_base:
+                    buffer = grow_buffer(buffer, self.num_base, 0)
+                    buffer[:old_base] = old_hops[k]
+                    self._hop_buffers[k] = buffer
+                hop = buffer[:self.num_base]
+            else:
+                hop = old_hops[k]
+            if gathered is not None:
+                hop[changed] = gathered @ new_hops[k - 1]
+            new_hops.append(hop)
+        self._propagated = new_hops
 
     def __repr__(self) -> str:
         return (f"PreparedDeployment(deployment={self.deployment!r}, "

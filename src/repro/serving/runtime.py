@@ -37,13 +37,43 @@ import scipy.sparse as sp
 
 from repro.errors import InferenceError, ServingError
 from repro.graph.datasets import IncrementalBatch
+from repro.graph.stream import GraphDelta
 from repro.registry import make_scheduler
-from repro.serving.prepared import PreparedDeployment
+from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
 from repro.serving.queue import BoundedRequestQueue, QueueFullError
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.stats import LatencyAccounting, RequestRecord, RuntimeStats
 
-__all__ = ["ServingRuntime", "ServingFuture", "Request", "merge_requests"]
+__all__ = ["ServingRuntime", "ServingFuture", "IngestFuture", "Request",
+           "merge_requests"]
+
+
+class IngestFuture:
+    """Completion handle for one ingested :class:`GraphDelta`."""
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._report: DeltaRefreshReport | None = None
+        self._error: BaseException | None = None
+
+    def _resolve(self, report: DeltaRefreshReport) -> None:
+        self._report = report
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> DeltaRefreshReport:
+        """The delta's :class:`DeltaRefreshReport`; raises its error if any."""
+        if not self._done.wait(timeout=timeout):
+            raise ServingError(f"delta not applied within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._report
 
 
 class ServingFuture:
@@ -154,9 +184,28 @@ class ServingRuntime:
         self._serve_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stopping = threading.Event()
-        self._original_columns = (
-            int(prepared.mapping.shape[0]) if prepared.mapping is not None
-            else prepared.num_base)
+        #: Default staleness threshold for :meth:`ingest`ed deltas.
+        self.staleness_threshold = 0.25
+        self._delta_lock = threading.Lock()
+        self._pending_deltas: list[tuple[GraphDelta, IngestFuture]] = []
+        self._delta_reports: list[DeltaRefreshReport] = []
+        # The base width when this runtime opened: the narrowest id space
+        # any client could legitimately have built a request against.
+        # Narrower inputs are malformed, not stale, and stay rejected.
+        self._floor_columns = self._original_columns
+
+    @property
+    def _original_columns(self) -> int:
+        """Expected incremental width — tracks the evolving base graph."""
+        if self.prepared.mapping is not None:
+            return int(self.prepared.mapping.shape[0])
+        return self.prepared.num_base
+
+    def _pending_appended(self) -> int:
+        """Base-graph rows promised by ingested-but-unapplied deltas."""
+        with self._delta_lock:
+            return sum(delta.num_new_nodes
+                       for delta, _ in self._pending_deltas)
 
     # ------------------------------------------------------------------
     # Admission
@@ -210,10 +259,24 @@ class ServingRuntime:
         else:
             inc = sp.csr_matrix(
                 np.atleast_2d(np.asarray(incremental, dtype=np.float64)))
-        if inc.shape != (n, self._original_columns):
+        # Valid widths span every base size this runtime has exposed: a
+        # client that has not yet observed streamed appends may cite a
+        # historical (narrower) id space down to the opening width, and
+        # one that just ingested a delta may already cite its promised
+        # nodes before the loop applies it.  The pending count is read
+        # *before* the current width: a delta applying between the two
+        # reads then raises the width instead of shrinking the bound.
+        pending = self._pending_appended()
+        width = self._original_columns
+        if self._floor_columns <= inc.shape[1] < width and inc.shape[0] == n:
+            # widen with zero columns for the base nodes it predates
+            inc = sp.csr_matrix((inc.data, inc.indices, inc.indptr),
+                                shape=(n, width))
+        if inc.shape[0] != n or not (
+                width <= inc.shape[1] <= width + pending):
             raise ServingError(
                 f"incremental adjacency has shape {inc.shape}, expected "
-                f"({n}, {self._original_columns})")
+                f"({n}, {width})")
         if intra is None:
             ea = sp.csr_matrix((n, n), dtype=np.float64)
         elif sp.issparse(intra):
@@ -226,16 +289,75 @@ class ServingRuntime:
         return Request(features=feats, incremental=inc, intra=ea)
 
     # ------------------------------------------------------------------
+    # Streaming ingest
+    # ------------------------------------------------------------------
+    def ingest(self, delta: GraphDelta) -> IngestFuture:
+        """Admit a :class:`~repro.graph.stream.GraphDelta` for application.
+
+        Deltas are applied between micro-batches (never mid-forward) by
+        the same loop that serves requests, in admission order; the
+        returned :class:`IngestFuture` resolves with the
+        :class:`~repro.serving.prepared.DeltaRefreshReport` once the
+        deployment caches are refreshed.  In stepped mode call
+        :meth:`step` (or :meth:`run_pending`) to drain pending deltas.
+        """
+        if not isinstance(delta, GraphDelta):
+            raise ServingError(
+                f"ingest needs a GraphDelta, got {type(delta).__name__}")
+        if self.queue.closed:
+            raise ServingError("runtime was stopped; cannot ingest deltas")
+        future = IngestFuture()
+        with self._delta_lock:
+            self._pending_deltas.append((delta, future))
+        return future
+
+    def _apply_pending_deltas(self) -> int:
+        """Apply every admitted delta (caller holds ``_serve_lock``)."""
+        with self._delta_lock:
+            pending, self._pending_deltas = self._pending_deltas, []
+        for delta, future in pending:
+            try:
+                report = self.prepared.apply_delta(
+                    delta, staleness_threshold=self.staleness_threshold)
+            except Exception as error:  # noqa: BLE001 — forwarded to future
+                future._fail(error)
+                continue
+            with self._delta_lock:
+                self._delta_reports.append(report)
+            future._resolve(report)
+        return len(pending)
+
+    def stream_stats(self) -> dict:
+        """Aggregate ingest accounting (JSON-ready)."""
+        with self._delta_lock:
+            reports = list(self._delta_reports)
+        refresh = [r for r in reports if r.mode != "noop"]
+        seconds = [r.seconds for r in refresh]
+        return {
+            "deltas": len(reports),
+            "incremental": sum(r.mode == "incremental" for r in reports),
+            "rebuilds": sum(r.mode == "rebuild" for r in reports),
+            "appended_nodes": sum(r.appended for r in reports),
+            "refresh_mean_ms": (float(np.mean(seconds)) * 1e3
+                                if seconds else None),
+            "refresh_max_ms": (float(np.max(seconds)) * 1e3
+                               if seconds else None),
+        }
+
+    # ------------------------------------------------------------------
     # Serving loop
     # ------------------------------------------------------------------
     def step(self, timeout: float | None = 0.0) -> int:
         """Form and serve one micro-batch synchronously.
 
-        Returns the number of requests served (0 when the queue stayed
-        empty for ``timeout`` seconds).  This is the deterministic
-        entrypoint used by tests and the closed-loop benchmark.
+        Pending deltas are applied first (ingest interleaves with serve
+        traffic at micro-batch granularity).  Returns the number of
+        requests served (0 when the queue stayed empty for ``timeout``
+        seconds).  This is the deterministic entrypoint used by tests
+        and the closed-loop benchmark.
         """
         with self._serve_lock:
+            self._apply_pending_deltas()
             batch = self._collect(timeout)
             if not batch:
                 return 0
@@ -268,9 +390,29 @@ class ServingRuntime:
             batch.append(nxt)
         return batch
 
+    def _align_request_widths(self, requests: list[Request]) -> None:
+        """Bring every request in the batch to the current base width.
+
+        Caller holds ``_serve_lock``.  Requests admitted before an append
+        landed are widened with zero columns; a request admitted *ahead*
+        of a still-pending ingested delta forces that delta to apply
+        first (its ids only exist in the promised width).
+        """
+        width = self._original_columns
+        if any(r.incremental.shape[1] > width for r in requests):
+            self._apply_pending_deltas()
+            width = self._original_columns
+        for request in requests:
+            inc = request.incremental
+            if inc.shape[1] < width:
+                request.incremental = sp.csr_matrix(
+                    (inc.data, inc.indices, inc.indptr),
+                    shape=(inc.shape[0], width))
+
     def _execute(self, requests: list[Request]) -> None:
         started = time.perf_counter()
         try:
+            self._align_request_widths(requests)
             merged = merge_requests(requests)
             if self.precision == "frozen":
                 logits, compute_seconds, _ = self.prepared.serve_batch_frozen(
@@ -321,7 +463,11 @@ class ServingRuntime:
         self.run_pending()  # drain what was admitted before shutdown
 
     def stop(self, drain: bool = True) -> None:
-        """Close admissions and stop the loop; drains the queue by default."""
+        """Close admissions and stop the loop; drains the queue by default.
+
+        Draining also applies admitted deltas; without draining their
+        :class:`IngestFuture`\\ s are failed so no waiter blocks forever.
+        """
         self.queue.close()
         self._stopping.set()
         if self._thread is not None:
@@ -329,6 +475,12 @@ class ServingRuntime:
             self._thread = None
         if drain:
             self.run_pending()
+        else:
+            with self._delta_lock:
+                abandoned, self._pending_deltas = self._pending_deltas, []
+            for _, future in abandoned:
+                future._fail(ServingError(
+                    "runtime stopped before the delta was applied"))
 
     def __enter__(self) -> "ServingRuntime":
         return self.start()

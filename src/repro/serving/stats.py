@@ -12,6 +12,7 @@ latency report in the repo interpolates the same way.
 
 from __future__ import annotations
 
+import math
 import threading
 from collections import deque
 from dataclasses import dataclass, field
@@ -19,6 +20,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.inference.benchmark import latency_percentiles
+
+
+def _json_safe(value: float) -> float | None:
+    """NaN/inf become ``None`` so the dict stays strict-JSON clean."""
+    return value if math.isfinite(value) else None
 
 # Percentiles are computed over a sliding window of the most recent
 # requests; lifetime counters stay exact.  The bound keeps a long-lived
@@ -79,19 +85,24 @@ class RuntimeStats:
         return self.nodes / self.wall_seconds
 
     def as_dict(self) -> dict:
-        """JSON-ready view (used by ``repro bench`` and ``serve-online``)."""
+        """JSON-ready view (used by ``repro bench`` and ``serve-online``).
+
+        Latency fields of an idle runtime (no completed requests yet) are
+        NaN in the dataclass and serialize as ``None`` here — strict JSON
+        has no NaN, and ``0.0`` would read as a real measurement.
+        """
         return {
             "requests": self.requests,
             "nodes": self.nodes,
             "batches": self.batches,
             "rejected": self.rejected,
             "failed": self.failed,
-            "latency_p50_ms": self.latency_p50 * 1e3,
-            "latency_p95_ms": self.latency_p95 * 1e3,
-            "latency_p99_ms": self.latency_p99 * 1e3,
-            "latency_mean_ms": self.latency_mean * 1e3,
-            "queue_wait_mean_ms": self.queue_wait_mean * 1e3,
-            "compute_mean_ms": self.compute_mean * 1e3,
+            "latency_p50_ms": _json_safe(self.latency_p50 * 1e3),
+            "latency_p95_ms": _json_safe(self.latency_p95 * 1e3),
+            "latency_p99_ms": _json_safe(self.latency_p99 * 1e3),
+            "latency_mean_ms": _json_safe(self.latency_mean * 1e3),
+            "queue_wait_mean_ms": _json_safe(self.queue_wait_mean * 1e3),
+            "compute_mean_ms": _json_safe(self.compute_mean * 1e3),
             "mean_batch_requests": self.mean_batch_requests,
             "throughput_rps": self.throughput_rps,
             "throughput_nodes_per_s": self.throughput_nodes_per_s,
@@ -156,12 +167,17 @@ class LatencyAccounting:
         if not records:
             # An idle or fully-shedding runtime must still report — the
             # rejection/failure counts are exactly what an overloaded
-            # operator reads.
+            # operator reads.  Latency fields are NaN, not 0.0: a zero
+            # would masquerade as a real (excellent) measurement when the
+            # runtime is polled before its first completed request.
+            tail = latency_percentiles([], empty=math.nan)
             return RuntimeStats(
-                requests=0, nodes=0, batches=batches, rejected=rejected,
-                failed=failed,
-                latency_p50=0.0, latency_p95=0.0, latency_p99=0.0,
-                latency_mean=0.0, queue_wait_mean=0.0, compute_mean=0.0,
+                requests=requests_total, nodes=nodes_total, batches=batches,
+                rejected=rejected, failed=failed,
+                latency_p50=tail["p50"], latency_p95=tail["p95"],
+                latency_p99=tail["p99"],
+                latency_mean=math.nan, queue_wait_mean=math.nan,
+                compute_mean=math.nan,
                 mean_batch_requests=0.0, wall_seconds=0.0)
         latencies = np.asarray([r.latency_seconds for r in records])
         waits = np.asarray([r.queue_seconds for r in records])

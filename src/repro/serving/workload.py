@@ -26,7 +26,7 @@ from repro.graph.datasets import IncrementalBatch
 from repro.registry import register_workload
 
 __all__ = ["WorkloadGenerator", "PoissonWorkload", "BurstyWorkload",
-           "RampWorkload", "split_requests", "replay"]
+           "RampWorkload", "split_requests", "replay", "replay_stream"]
 
 
 class WorkloadGenerator:
@@ -228,3 +228,30 @@ def replay(runtime, requests: list[IncrementalBatch],
                 raise  # a genuine timeout, not a per-request failure
             results.append(None)
     return results
+
+
+def replay_stream(runtime, requests: list[IncrementalBatch], deltas,
+                  ingest_every: int = 4) -> None:
+    """Closed-loop replay of serve traffic with deltas interleaved.
+
+    Submits ``requests`` in groups of ``ingest_every``, ingests one delta
+    after each group, and drains synchronously (``run_pending``) so every
+    micro-batch and every refresh happens in a deterministic order.
+    Deltas left over when the request stream ends are ingested and
+    applied at the tail.  Shared by ``repro serve-stream`` and the
+    streaming benchmark so the interleaving semantics cannot diverge.
+    """
+    if ingest_every <= 0:
+        raise ServingError(
+            f"ingest_every must be positive, got {ingest_every}")
+    pending = iter(deltas)
+    for start in range(0, len(requests), ingest_every):
+        for request in requests[start:start + ingest_every]:
+            runtime.submit_batch(request)
+        delta = next(pending, None)
+        if delta is not None:
+            runtime.ingest(delta)
+        runtime.run_pending()
+    for delta in pending:
+        runtime.ingest(delta)
+    runtime.run_pending()

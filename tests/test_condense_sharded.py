@@ -73,6 +73,60 @@ class TestApportionBudget:
                                 3).tolist() == [13]
 
 
+class TestSingleClassShardApportionment:
+    """Regression: a shard whose labeled nodes are all one class must get
+    a floor of 1, not one per *global* class — the global floor can
+    exceed the budget such a shard (or the whole run) was ever granted."""
+
+    def test_per_shard_floor_array(self):
+        # 3 global classes, shard 1 single-class: old floor 3+3=6 > 5
+        allocation = apportion_budget(np.array([20, 4]), np.array([50, 40]),
+                                      5, np.array([3, 1]))
+        assert allocation.sum() == 5
+        assert allocation[0] >= 3
+        assert allocation[1] >= 1
+
+    def test_scalar_floor_still_supported(self):
+        allocation = apportion_budget(np.array([10, 10]),
+                                      np.array([50, 50]), 8, 2)
+        assert allocation.sum() == 8
+        assert allocation.min() >= 2
+
+    def test_floor_sum_over_budget_raises(self):
+        with pytest.raises(CondensationError, match="fewer shards"):
+            apportion_budget(np.array([5, 5]), np.array([50, 50]), 3,
+                             np.array([3, 1]))
+
+    def test_single_class_shard_end_to_end(self, tiny_split):
+        """A partition that isolates one class in its own shard condenses
+        with a budget below shards * num_classes."""
+        from repro.graph.partition import register_partitioner
+
+        labels = tiny_split.original.labels
+        lone = int(labels[0])
+
+        @register_partitioner("single-class-test", overwrite=True,
+                              description="test-only: isolate one class")
+        def _single_class(graph, shards, seed=0):
+            assert shards == 2
+            members = np.flatnonzero(graph.labels == lone)
+            rest = np.flatnonzero(graph.labels != lone)
+            return [rest, members]
+
+        reducer = make_reducer("sharded", inner="random", shards=2,
+                               partitioner="single-class-test", seed=0)
+        # 4 < 2 shards * 3 classes: the old global floor raised here
+        condensed = reducer.reduce(tiny_split, 4)
+        assert condensed.num_nodes == 4
+        plan = reducer.last_plan
+        assert len(plan) == 2
+        single = [entry for entry in plan
+                  if entry["shard"] == 1][0]
+        assert single["budget"] >= 1
+        # the single-class shard only carries its own class
+        assert set(np.unique(condensed.labels)) <= set(np.unique(labels))
+
+
 class TestCoalesceShards:
     labeled = np.zeros(12, dtype=bool)
     labeled[[0, 1, 6, 7]] = True

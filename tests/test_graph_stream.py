@@ -1,0 +1,263 @@
+"""Streaming graph evolution: deltas, row splicing, trace generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import GraphError
+from repro.graph import Graph
+from repro.graph.ops import add_self_loops
+from repro.graph.stream import (
+    GraphDelta,
+    StreamingGraph,
+    make_delta_trace,
+    splice_csr_rows,
+)
+
+
+def _random_graph(rng, n=60, density=0.08, d=5):
+    adj = sp.random(n, n, density=density, random_state=17, format="csr")
+    adj = adj.maximum(adj.T)
+    adj.data[:] = rng.uniform(0.2, 2.0, adj.nnz)
+    adj = adj.maximum(adj.T)
+    features = rng.standard_normal((n, d))
+    labels = rng.integers(0, 3, n)
+    return Graph(adj, features, labels)
+
+
+def _rebuilt(stream: StreamingGraph) -> Graph:
+    """From-scratch canonical reconstruction of the stream's graph."""
+    adj = stream.graph.adjacency.copy()
+    adj.sum_duplicates()
+    adj.sort_indices()
+    return Graph(adj, stream.graph.features, stream.graph.labels)
+
+
+class TestGraphDelta:
+    def test_noop_detection(self):
+        assert GraphDelta().is_noop()
+        assert not GraphDelta(add_edges=[[0, 1]]).is_noop()
+        assert not GraphDelta(add_features=np.zeros((1, 3))).is_noop()
+
+    def test_bad_edge_shape_rejected(self):
+        with pytest.raises(GraphError, match="shape"):
+            GraphDelta(add_edges=np.zeros((3, 3)))
+
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            GraphDelta(add_edges=[[0, 1]], add_weights=[0.0])
+
+    def test_update_requires_both_fields(self):
+        with pytest.raises(GraphError, match="together"):
+            GraphDelta(update_index=[0])
+
+    def test_duplicate_update_index_rejected(self):
+        with pytest.raises(GraphError, match="unique"):
+            GraphDelta(update_index=[0, 0],
+                       update_features=np.zeros((2, 3)))
+
+    def test_labels_without_features_rejected(self):
+        with pytest.raises(GraphError, match="add_labels"):
+            GraphDelta(add_labels=[1])
+
+
+class TestStreamingGraph:
+    def test_append_nodes_with_edges(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        delta = GraphDelta(add_features=rng.standard_normal((2, 5)),
+                           add_labels=np.array([1, 2]),
+                           add_edges=[[60, 0], [61, 3], [60, 61]])
+        effect = stream.apply(delta)
+        assert effect.num_nodes == 62
+        assert effect.appended == 2
+        new = stream.graph
+        assert new.num_nodes == 62
+        assert new.adjacency[60, 0] == 1.0
+        assert new.adjacency[0, 60] == 1.0  # symmetric by default
+        assert new.adjacency[60, 61] == 1.0
+        assert new.labels[-2:].tolist() == [1, 2]
+        # rows 0 and 3 were touched (gained an edge to a new node)
+        assert {0, 3, 60, 61} <= set(effect.touched_rows.tolist())
+
+    def test_add_weight_accumulates_on_existing_edge(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        coo = sp.triu(stream.graph.adjacency, k=1).tocoo()
+        u, v = int(coo.row[0]), int(coo.col[0])
+        before = stream.graph.adjacency[u, v]
+        stream.apply(GraphDelta(add_edges=[[u, v]], add_weights=[0.5]))
+        assert stream.graph.adjacency[u, v] == before + 0.5
+        assert stream.graph.adjacency[v, u] == before + 0.5
+
+    def test_duplicate_added_pairs_are_summed(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        nnz_before = stream.graph.adjacency.nnz
+        free = None
+        adj = stream.graph.adjacency
+        for a in range(60):
+            for b in range(a + 1, 60):
+                if adj[a, b] == 0:
+                    free = (a, b)
+                    break
+            if free:
+                break
+        stream.apply(GraphDelta(add_edges=[list(free), list(free)],
+                                add_weights=[1.0, 2.0]))
+        assert stream.graph.adjacency[free] == 3.0
+        assert stream.graph.adjacency.nnz == nnz_before + 2
+
+    def test_remove_edge(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        coo = sp.triu(stream.graph.adjacency, k=1).tocoo()
+        u, v = int(coo.row[0]), int(coo.col[0])
+        nnz = stream.graph.adjacency.nnz
+        effect = stream.apply(GraphDelta(remove_edges=[[u, v]]))
+        assert stream.graph.adjacency[u, v] == 0
+        assert stream.graph.adjacency[v, u] == 0
+        assert stream.graph.adjacency.nnz == nnz - 2  # structural removal
+        assert {u, v} == set(effect.touched_rows.tolist())
+
+    def test_remove_missing_edge_raises(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        adj = stream.graph.adjacency
+        free = next((a, b) for a in range(60) for b in range(a + 1, 60)
+                    if adj[a, b] == 0)
+        with pytest.raises(GraphError, match="does not hold"):
+            stream.apply(GraphDelta(remove_edges=[list(free)]))
+
+    def test_add_and_remove_same_edge_conflicts(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        coo = sp.triu(stream.graph.adjacency, k=1).tocoo()
+        u, v = int(coo.row[0]), int(coo.col[0])
+        with pytest.raises(GraphError, match="add and remove"):
+            stream.apply(GraphDelta(add_edges=[[u, v]],
+                                    remove_edges=[[u, v]]))
+
+    def test_feature_update(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        new_rows = rng.standard_normal((2, 5))
+        effect = stream.apply(GraphDelta(update_index=[3, 7],
+                                         update_features=new_rows))
+        assert np.array_equal(stream.graph.features[[3, 7]], new_rows)
+        assert effect.touched_rows.size == 0  # structure untouched
+        assert set(effect.feature_rows.tolist()) == {3, 7}
+
+    def test_noop_apply_returns_same_graph(self, rng):
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        before = stream.graph
+        effect = stream.apply(GraphDelta())
+        assert effect.graph is before
+        assert stream.version == 0
+
+    def test_canonical_form_after_random_deltas(self, rng):
+        """Property: after any delta sequence the adjacency is canonical
+        (sorted, duplicate-free) and matches a from-scratch rebuild."""
+        graph = _random_graph(rng)
+        stream = StreamingGraph(graph)
+        for step in range(8):
+            n = stream.num_nodes
+            add = rng.integers(0, n, size=(3, 2))
+            add = add[add[:, 0] != add[:, 1]]
+            delta = GraphDelta(
+                add_features=rng.standard_normal((1, 5)),
+                add_labels=np.array([0]),
+                add_edges=np.vstack([add, [[n, rng.integers(0, n)]]]),
+                update_index=[int(rng.integers(0, n))],
+                update_features=rng.standard_normal((1, 5)))
+            stream.apply(delta)
+            adj = stream.graph.adjacency
+            assert adj.has_sorted_indices
+            canon = adj.copy()
+            canon.sum_duplicates()
+            canon.sort_indices()
+            assert np.array_equal(adj.indices, canon.indices)
+            assert np.array_equal(adj.data, canon.data)
+            assert adj.shape == (stream.num_nodes, stream.num_nodes)
+            loops = add_self_loops(adj)
+            assert loops.shape[0] == stream.num_nodes
+
+    def test_out_of_range_endpoints_rejected(self, rng):
+        stream = StreamingGraph(_random_graph(rng))
+        with pytest.raises(GraphError, match="out of range"):
+            stream.apply(GraphDelta(add_edges=[[0, 400]]))
+        with pytest.raises(GraphError, match="appended"):
+            stream.apply(GraphDelta(remove_edges=[[0, 60]],
+                                    add_features=np.zeros((1, 5))))
+
+
+class TestSpliceCsrRows:
+    def test_replace_and_append(self, rng):
+        matrix = sp.random(6, 6, density=0.4, random_state=3, format="csr")
+        matrix.sort_indices()
+        block = sp.csr_matrix(np.array([[1.0, 0, 0, 0, 0, 0, 2.0],
+                                        [0, 0, 3.0, 0, 0, 0, 0]]))
+        append = sp.csr_matrix(np.array([[0, 5.0, 0, 0, 0, 0, 0]]))
+        out = splice_csr_rows(matrix, np.array([1, 4]), block,
+                              num_cols=7, append=append)
+        assert out.shape == (7, 7)
+        dense = out.toarray()
+        old = matrix.toarray()
+        for row in (0, 2, 3, 5):
+            assert np.array_equal(dense[row, :6], old[row])
+        assert dense[1, 0] == 1.0 and dense[1, 6] == 2.0
+        assert dense[4, 2] == 3.0
+        assert dense[6, 1] == 5.0
+
+    def test_narrowing_rejected(self, rng):
+        matrix = sp.random(4, 4, density=0.5, random_state=1, format="csr")
+        with pytest.raises(GraphError, match="narrow"):
+            splice_csr_rows(matrix, np.array([0]),
+                            sp.csr_matrix((1, 2)), num_cols=2)
+
+    def test_row_count_mismatch_rejected(self):
+        matrix = sp.csr_matrix(np.eye(3))
+        with pytest.raises(GraphError, match="rows to replace"):
+            splice_csr_rows(matrix, np.array([0, 1]), sp.csr_matrix((1, 3)))
+
+
+class TestMakeDeltaTrace:
+    def test_deterministic_and_exact_cover(self, tiny_split):
+        batch = tiny_split.incremental_batch("test")
+        base = tiny_split.original
+        kwargs = dict(num_deltas=4, nodes_per_delta=3, edges_per_delta=2,
+                      removals_per_delta=1, updates_per_delta=2, seed=11)
+        trace_a = make_delta_trace(base, batch, **kwargs)
+        trace_b = make_delta_trace(base, batch, **kwargs)
+        assert len(trace_a) == 4
+        for da, db in zip(trace_a, trace_b):
+            assert np.array_equal(da.add_features, db.add_features)
+            assert np.array_equal(da.add_edges, db.add_edges)
+            assert np.array_equal(da.add_weights, db.add_weights)
+        # every delta appends exactly nodes_per_delta batch nodes, in order
+        offset = 0
+        for delta in trace_a:
+            assert delta.num_new_nodes == 3
+            assert np.array_equal(delta.add_features,
+                                  batch.features[offset:offset + 3])
+            offset += 3
+
+    def test_trace_replays_cleanly(self, tiny_split):
+        batch = tiny_split.incremental_batch("test")
+        stream = StreamingGraph(tiny_split.original.copy())
+        trace = make_delta_trace(tiny_split.original, batch, num_deltas=3,
+                                 nodes_per_delta=2, edges_per_delta=3,
+                                 removals_per_delta=2, updates_per_delta=1,
+                                 seed=5)
+        for delta in trace:
+            stream.apply(delta)
+        assert stream.num_nodes == tiny_split.original.num_nodes + 6
+
+    def test_insufficient_batch_raises(self, tiny_split):
+        batch = tiny_split.incremental_batch("test").subset(np.arange(3))
+        with pytest.raises(GraphError, match="holds"):
+            make_delta_trace(tiny_split.original, batch, num_deltas=4,
+                             nodes_per_delta=2)

@@ -1,0 +1,390 @@
+"""Streaming deployment: apply_delta parity, runtime ingest, benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import ServingError
+from repro.graph.datasets import IncrementalBatch
+from repro.graph.stream import GraphDelta, StreamingGraph, make_delta_trace
+from repro.nn import make_model
+from repro.serving import PreparedDeployment, ServingRuntime
+from repro.serving.stream_bench import (
+    check_streaming_benchmark_schema,
+    gate_streaming_benchmark,
+)
+
+
+@pytest.fixture()
+def sgc(tiny_split):
+    return make_model("sgc", tiny_split.original.feature_dim,
+                      tiny_split.num_classes, seed=0)
+
+
+def _random_delta(stream: StreamingGraph, batch, cursor: int, rng,
+                  *, append: bool = True):
+    """One random-but-valid delta against the stream's current state."""
+    n = stream.num_nodes
+    add_edges = rng.integers(0, n, size=(3, 2))
+    add_edges = add_edges[add_edges[:, 0] != add_edges[:, 1]]
+    rows, vals = [add_edges], [np.ones(add_edges.shape[0])]
+    add_features = add_labels = None
+    if append:
+        sel = np.arange(cursor, cursor + 2)
+        add_features = batch.features[sel]
+        add_labels = batch.labels[sel]
+        inc = batch.incremental[sel].tocoo()
+        rows.append(np.column_stack([inc.row + n, inc.col]))
+        vals.append(inc.data)
+    upper = sp.triu(stream.graph.adjacency, k=1).tocoo()
+    picks = rng.choice(upper.nnz, size=2, replace=False)
+    remove = np.column_stack([upper.row[picks], upper.col[picks]])
+    added = np.vstack(rows)
+    lo = np.minimum(added[:, 0], added[:, 1])
+    hi = np.maximum(added[:, 0], added[:, 1])
+    keys = np.minimum(remove[:, 0], remove[:, 1]) * (n + 2) + \
+        np.maximum(remove[:, 0], remove[:, 1])
+    keep = ~np.isin(lo * (n + 2) + hi, keys)
+    update_index = np.sort(rng.choice(n, size=3, replace=False))
+    return GraphDelta(
+        add_features=add_features, add_labels=add_labels,
+        add_edges=added[keep],
+        add_weights=np.concatenate(vals)[keep],
+        remove_edges=remove,
+        update_index=update_index,
+        update_features=stream.graph.features[update_index]
+        + rng.standard_normal((3, batch.features.shape[1])) * 0.1)
+
+
+def _assert_prepared_parity(evolved: PreparedDeployment,
+                            fresh: PreparedDeployment,
+                            batch, batch_mode: str):
+    assert evolved.num_base == fresh.num_base
+    assert np.array_equal(evolved.base_loops.data, fresh.base_loops.data)
+    assert np.array_equal(evolved.base_loops.indices,
+                          fresh.base_loops.indices)
+    assert np.array_equal(evolved.base_loops.indptr, fresh.base_loops.indptr)
+    assert np.array_equal(evolved.base_features, fresh.base_features)
+    assert evolved._raw_nnz == fresh._raw_nnz
+    op_a, op_b = evolved.base_operator(), fresh.base_operator()
+    assert np.array_equal(op_a.data, op_b.data)
+    assert np.array_equal(op_a.indices, op_b.indices)
+    for hop_a, hop_b in zip(evolved.propagated_base_features(),
+                            fresh.propagated_base_features()):
+        assert np.array_equal(hop_a, hop_b)
+    assert np.array_equal(evolved.warm_base(), fresh.warm_base())
+    assert np.array_equal(evolved._standalone_inv_sqrt_degrees(),
+                          fresh._standalone_inv_sqrt_degrees())
+    inc = batch.incremental.tocsr()
+    probe = IncrementalBatch(
+        features=batch.features,
+        incremental=sp.csr_matrix((inc.data, inc.indices, inc.indptr),
+                                  shape=(inc.shape[0], evolved.num_base)),
+        intra=batch.intra, labels=batch.labels)
+    logits_a, _, memory_a = evolved.serve_batch(probe, batch_mode)
+    logits_b, _, memory_b = fresh.serve_batch(probe, batch_mode)
+    assert np.array_equal(logits_a, logits_b)
+    assert memory_a == memory_b
+    frozen_a, _, _ = evolved.serve_batch_frozen(probe, batch_mode)
+    frozen_b, _, _ = fresh.serve_batch_frozen(probe, batch_mode)
+    assert np.array_equal(frozen_a, frozen_b)
+
+
+class TestApplyDeltaParity:
+    """Property suite: random delta sequences vs from-scratch prepare()."""
+
+    @pytest.mark.parametrize("batch_mode", ("graph", "node"))
+    @pytest.mark.parametrize("seed", (0, 1))
+    def test_random_sequence_bitwise_parity(self, tiny_split, sgc,
+                                            batch_mode, seed):
+        rng = np.random.default_rng(seed)
+        batch = tiny_split.incremental_batch("test")
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        prepared.base_operator()
+        prepared.propagated_base_features()
+        prepared.warm_base()
+        reference = StreamingGraph(tiny_split.original.copy())
+        probe = batch.subset(np.arange(20, 24))
+        cursor = 0
+        for step in range(5):
+            delta = _random_delta(reference, batch, cursor, rng,
+                                  append=step % 2 == 0)
+            cursor += delta.num_new_nodes
+            report = prepared.apply_delta(delta)
+            assert report.mode in ("incremental", "rebuild")
+            reference.apply(delta)
+            fresh = PreparedDeployment(sgc, "original", reference.graph)
+            _assert_prepared_parity(prepared, fresh, probe, batch_mode)
+
+    def test_forced_rebuild_matches_incremental(self, tiny_split, sgc):
+        batch = tiny_split.incremental_batch("test")
+        trace = make_delta_trace(tiny_split.original, batch, num_deltas=4,
+                                 nodes_per_delta=2, edges_per_delta=3,
+                                 removals_per_delta=1, updates_per_delta=2,
+                                 seed=9)
+        incremental = PreparedDeployment(sgc, "original",
+                                         tiny_split.original)
+        rebuild = PreparedDeployment(sgc, "original", tiny_split.original)
+        for prepared in (incremental, rebuild):
+            prepared.base_operator()
+            prepared.propagated_base_features()
+        for delta in trace:
+            inc_report = incremental.apply_delta(delta)
+            reb_report = rebuild.apply_delta(delta, staleness_threshold=0.0)
+            assert reb_report.mode == "rebuild"
+            assert inc_report.num_base == reb_report.num_base
+        assert np.array_equal(incremental.base_operator().data,
+                              rebuild.base_operator().data)
+        for hop_a, hop_b in zip(incremental.propagated_base_features(),
+                                rebuild.propagated_base_features()):
+            assert np.array_equal(hop_a, hop_b)
+
+    def test_zero_delta_is_noop(self, tiny_split, sgc):
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        operator_before = prepared.base_operator()
+        report = prepared.apply_delta(GraphDelta())
+        assert report.mode == "noop"
+        assert report.appended == 0
+        assert prepared.base_operator() is operator_before
+
+    def test_lazy_caches_stay_lazy(self, tiny_split, sgc):
+        """A delta on a cold deployment must not materialize warm caches."""
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        report = prepared.apply_delta(GraphDelta(add_edges=[[0, 5]]))
+        assert report.mode == "incremental"
+        assert report.refreshed == ()
+        assert prepared._base_operator is None
+        assert prepared._propagated is None
+
+    def test_invalid_threshold_rejected(self, tiny_split, sgc):
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        with pytest.raises(ServingError, match="staleness"):
+            prepared.apply_delta(GraphDelta(), staleness_threshold=1.5)
+        with pytest.raises(ServingError, match="GraphDelta"):
+            prepared.apply_delta("not a delta")
+
+    def test_synthetic_append_extends_mapping(self, tiny_split, sgc,
+                                              tiny_condensed):
+        prepared = PreparedDeployment(sgc, "synthetic", None, tiny_condensed)
+        batch = tiny_split.incremental_batch("test")
+        rows_before = prepared.mapping.shape[0]
+        report = prepared.apply_delta(
+            GraphDelta(add_features=batch.features[:3]))
+        assert report.mode == "append-mapping"
+        assert prepared.mapping.shape[0] == rows_before + 3
+        # a request citing a streamed node id attaches (with zero mass)
+        inc = sp.csr_matrix(
+            (np.ones(2), ([0, 0], [1, rows_before + 1])),
+            shape=(1, rows_before + 3))
+        request = IncrementalBatch(features=batch.features[:1],
+                                   incremental=inc,
+                                   intra=sp.csr_matrix((1, 1)),
+                                   labels=batch.labels[:1])
+        logits, _, _ = prepared.serve_batch(request, "node")
+        assert logits.shape[0] == 1
+
+    def test_synthetic_edge_delta_rejected(self, sgc, tiny_condensed):
+        prepared = PreparedDeployment(sgc, "synthetic", None, tiny_condensed)
+        with pytest.raises(ServingError, match="recondensation"):
+            prepared.apply_delta(GraphDelta(add_edges=[[0, 1]]))
+
+
+class TestRuntimeIngest:
+    def test_ingest_interleaves_with_serving(self, tiny_split, sgc):
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate", batch_mode="node")
+        batch = tiny_split.incremental_batch("test")
+        trace = make_delta_trace(tiny_split.original, batch, num_deltas=2,
+                                 nodes_per_delta=2, edges_per_delta=2,
+                                 seed=3)
+        futures, ingests = [], []
+        for i in range(4):
+            futures.append(runtime.submit_batch(
+                batch.subset(np.array([10 + i]))))
+            if i % 2 == 0:
+                ingests.append(runtime.ingest(trace[i // 2]))
+            runtime.run_pending()
+        for future in futures:
+            assert future.result(timeout=5.0).shape[0] == 1
+        for ingest in ingests:
+            assert ingest.result(timeout=5.0).appended == 2
+        stats = runtime.stream_stats()
+        assert stats["deltas"] == 2
+        assert stats["appended_nodes"] == 4
+        assert runtime.prepared.num_base == tiny_split.original.num_nodes + 4
+
+    def test_stale_width_requests_still_serve(self, tiny_split, sgc):
+        """Requests admitted before an append serve after it lands."""
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate", batch_mode="node")
+        batch = tiny_split.incremental_batch("test")
+        future = runtime.submit_batch(batch.subset(np.array([0])))
+        runtime.ingest(GraphDelta(add_features=batch.features[1:3],
+                                  add_labels=batch.labels[1:3]))
+        runtime.run_pending()  # delta applies first, then the request
+        assert future.result(timeout=5.0).shape[0] == 1
+        assert runtime.prepared.num_base == tiny_split.original.num_nodes + 2
+
+    def test_mixed_width_batch_serves(self, tiny_split, sgc):
+        """Regression: one micro-batch coalescing a pre-append request
+        with a post-append request must widen per request, not crash
+        merge_requests for the whole batch."""
+        n = tiny_split.original.num_nodes
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "sizecap", batch_mode="node",
+                                 scheduler_options={"max_batch_size": 4})
+        batch = tiny_split.incremental_batch("test")
+        old_width = batch.subset(np.array([0]))
+        future_a = runtime.submit_batch(old_width)  # admitted at width n
+        runtime.ingest(GraphDelta(add_features=batch.features[1:3],
+                                  add_labels=batch.labels[1:3]))
+        with runtime._serve_lock:
+            runtime._apply_pending_deltas()  # base is now n + 2 wide
+        wide_inc = sp.csr_matrix(
+            (np.ones(1), ([0], [n + 1])), shape=(1, n + 2))
+        future_b = runtime.submit(batch.features[3], wide_inc)
+        served = runtime.step()
+        assert served == 2  # both coalesced into one batch
+        assert future_a.result(timeout=5.0).shape[0] == 1
+        assert future_b.result(timeout=5.0).shape[0] == 1
+
+    def test_request_citing_pending_delta_ids_admitted(self, tiny_split,
+                                                       sgc):
+        """Regression: ingest-then-submit (the documented pattern) must
+        admit a request citing the just-ingested nodes even before the
+        serving loop has applied the delta."""
+        n = tiny_split.original.num_nodes
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate", batch_mode="node")
+        batch = tiny_split.incremental_batch("test")
+        runtime.ingest(GraphDelta(add_features=batch.features[:2],
+                                  add_labels=batch.labels[:2]))
+        inc = sp.csr_matrix((np.ones(1), ([0], [n])), shape=(1, n + 2))
+        future = runtime.submit(batch.features[2], inc)  # cites appended id
+        runtime.run_pending()
+        assert future.result(timeout=5.0).shape[0] == 1
+        assert runtime.prepared.num_base == n + 2
+        # beyond the promised width is still malformed
+        too_wide = sp.csr_matrix((1, n + 50))
+        with pytest.raises(ServingError, match="incremental adjacency"):
+            runtime.submit(batch.features[2], too_wide)
+
+    def test_ingest_rejects_non_delta_and_closed_runtime(self, tiny_split,
+                                                         sgc):
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate")
+        with pytest.raises(ServingError, match="GraphDelta"):
+            runtime.ingest("nope")
+        runtime.stop()
+        with pytest.raises(ServingError, match="stopped"):
+            runtime.ingest(GraphDelta())
+
+    def test_never_streamed_runtime_keeps_strict_widths(self, tiny_split,
+                                                        sgc):
+        """Regression: stale-width tolerance must not weaken validation on
+        a frozen runtime — a too-narrow incremental is malformed there."""
+        n = tiny_split.original.num_nodes
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate", batch_mode="node")
+        batch = tiny_split.incremental_batch("test")
+        with pytest.raises(ServingError, match="incremental adjacency"):
+            runtime.submit(batch.features[0], sp.csr_matrix((1, n - 5)))
+
+    def test_width_floor_is_opening_width(self, tiny_split, sgc):
+        """After appends, valid widths span [opening, current] — never
+        below what the runtime opened with."""
+        n = tiny_split.original.num_nodes
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate", batch_mode="node")
+        batch = tiny_split.incremental_batch("test")
+        runtime.ingest(GraphDelta(add_features=batch.features[:2],
+                                  add_labels=batch.labels[:2]))
+        runtime.run_pending()
+        ok = runtime.submit(batch.features[0], sp.csr_matrix((1, n)))
+        runtime.run_pending()
+        assert ok.result(timeout=5.0).shape[0] == 1
+        with pytest.raises(ServingError, match="incremental adjacency"):
+            runtime.submit(batch.features[0], sp.csr_matrix((1, n - 1)))
+
+    def test_stop_without_drain_fails_pending_ingest(self, tiny_split, sgc):
+        """Regression: stop(drain=False) must resolve pending delta
+        futures (with an error) instead of leaving waiters hanging."""
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate")
+        batch = tiny_split.incremental_batch("test")
+        future = runtime.ingest(GraphDelta(add_features=batch.features[:1],
+                                           add_labels=batch.labels[:1]))
+        runtime.stop(drain=False)
+        assert future.done()
+        with pytest.raises(ServingError, match="stopped before"):
+            future.result(timeout=1.0)
+
+    def test_failed_delta_fails_future_not_runtime(self, tiny_split, sgc):
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "immediate", batch_mode="node")
+        bad = GraphDelta(remove_edges=[[0, 1], [0, 2]])
+        # make sure at least one of those edges does not exist
+        adj = tiny_split.original.adjacency
+        assert adj[0, 1] == 0 or adj[0, 2] == 0
+        future = runtime.ingest(bad)
+        runtime.step()
+        with pytest.raises(Exception):
+            future.result(timeout=5.0)
+        batch = tiny_split.incremental_batch("test")
+        ok = runtime.submit_batch(batch.subset(np.array([0])))
+        runtime.run_pending()
+        assert ok.result(timeout=5.0).shape[0] == 1
+
+    def test_open_stream_warms_caches(self):
+        from repro import api
+        bundle = api.deploy("tiny-sim", "whole", 0, deployment="original",
+                            profile="quick", seed=7)
+        runtime = api.open_stream(bundle, staleness_threshold=0.4)
+        assert runtime.staleness_threshold == 0.4
+        assert runtime.prepared._base_operator is not None
+        assert runtime.prepared._propagated is not None
+
+
+class TestStreamingBenchmarkSchema:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.serving.stream_bench import run_streaming_benchmark
+        return run_streaming_benchmark(
+            "tiny-sim", method="whole", seed=7, profile="quick",
+            num_deltas=3, nodes_per_delta=2, edges_per_delta=2,
+            removals_per_delta=1, updates_per_delta=1, num_requests=8,
+            nodes_per_request=1, ingest_every=2)
+
+    def test_schema_passes(self, result):
+        check_streaming_benchmark_schema(result)
+
+    def test_parity_is_bitwise(self, result):
+        assert result["parity"]["bit_identical"] is True
+
+    def test_refresh_sections_populated(self, result):
+        assert result["refresh"]["delta_refresh"]["ms_mean"] > 0
+        assert result["refresh"]["full_rebuild"]["ms_mean"] > 0
+        assert result["refresh"]["full_rebuild"]["modes"]["rebuild"] == 3
+
+    def test_serving_sections_populated(self, result):
+        assert result["serving"]["with_ingest"]["requests"] == 8
+        assert result["serving"]["stream"]["deltas"] == 3
+
+    def test_gate_catches_broken_parity(self, result):
+        broken = {**result, "parity": {"bit_identical": False}}
+        assert any("parity" in failure
+                   for failure in gate_streaming_benchmark(broken))
+
+    def test_gate_catches_slow_refresh(self, result):
+        slow = {**result,
+                "refresh": {**result["refresh"], "speedup": 0.5}}
+        assert any("not faster" in failure
+                   for failure in gate_streaming_benchmark(slow))
+
+    def test_schema_rejects_missing_section(self, result):
+        broken = dict(result)
+        broken.pop("refresh")
+        with pytest.raises(ServingError, match="refresh"):
+            check_streaming_benchmark_schema(broken)

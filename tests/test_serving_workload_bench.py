@@ -100,6 +100,15 @@ class TestPercentileHelpers:
         with pytest.raises(InferenceError):
             latency_percentiles([])
 
+    def test_latency_percentiles_empty_value(self):
+        tail = latency_percentiles([], empty=float("nan"))
+        assert set(tail) == {"p50", "p95", "p99"}
+        assert all(np.isnan(v) for v in tail.values())
+
+    def test_latency_percentiles_single_sample(self):
+        tail = latency_percentiles([0.25])
+        assert tail["p50"] == tail["p95"] == tail["p99"] == 0.25
+
     def test_timing_stats_expose_percentiles(self):
         stats = time_callable(lambda: sum(range(100)), repeats=7, warmup=0)
         assert stats.p50_seconds is not None
@@ -112,6 +121,49 @@ class TestPercentileHelpers:
         tail = latency_percentiles(samples)
         assert stats.p95_seconds == tail["p95"]
         assert stats.repeats == 4
+
+
+class TestEmptyWindowAccounting:
+    """Polling a runtime before its first completed request must be
+    NaN-safe — zeros would read as real (excellent) measurements."""
+
+    def test_empty_summary_is_nan_not_zero(self):
+        from repro.serving.stats import LatencyAccounting
+        stats = LatencyAccounting().summary()
+        assert stats.requests == 0
+        for value in (stats.latency_p50, stats.latency_p95,
+                      stats.latency_p99, stats.latency_mean,
+                      stats.queue_wait_mean, stats.compute_mean):
+            assert np.isnan(value)
+        assert stats.throughput_rps == 0.0
+
+    def test_empty_as_dict_is_json_clean(self):
+        import json
+        from repro.serving.stats import LatencyAccounting
+        payload = LatencyAccounting().summary().as_dict()
+        assert payload["latency_p95_ms"] is None
+        assert payload["compute_mean_ms"] is None
+        json.loads(json.dumps(payload, allow_nan=False))  # strict JSON
+
+    def test_rejections_still_reported_with_nan_latency(self):
+        from repro.serving.stats import LatencyAccounting
+        accounting = LatencyAccounting()
+        accounting.observe_rejection(3)
+        stats = accounting.summary()
+        assert stats.rejected == 3
+        assert np.isnan(stats.latency_p50)
+
+    def test_single_sample_window(self):
+        from repro.serving.stats import LatencyAccounting, RequestRecord
+        accounting = LatencyAccounting()
+        record = RequestRecord(num_nodes=1, queue_seconds=0.01,
+                               compute_seconds=0.02, batch_size=1)
+        accounting.observe_batch([record], started=1.0, finished=1.05)
+        stats = accounting.summary()
+        assert stats.requests == 1
+        assert stats.latency_p50 == pytest.approx(0.03)
+        assert stats.latency_p50 == stats.latency_p99
+        assert stats.as_dict()["latency_p95_ms"] == pytest.approx(30.0)
 
 
 @pytest.fixture(scope="module")

@@ -162,6 +162,58 @@ class TestCli:
         assert code == 0
         assert "accuracy" in capsys.readouterr().out
 
+    def test_condense_then_serve_stream_roundtrip(self, capsys, monkeypatch,
+                                                  tmp_path):
+        _fast_profile(monkeypatch)
+        artifact = tmp_path / "streamable.npz"
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "whole",
+                     "--deployment", "original", "--output", str(artifact)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deployment='original'" in out
+        assert artifact.exists()
+
+        code = main(["serve-stream", "--artifact", str(artifact),
+                     "--deltas", "2", "--nodes-per-delta", "2",
+                     "--requests", "8", "--batch-mode", "node"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingesting 2 deltas" in out
+        assert "delta refresh" in out
+        assert "+4 streamed" in out
+
+    def test_serve_stream_on_synthetic_bundle_appends_only(
+            self, capsys, monkeypatch, tmp_path):
+        _fast_profile(monkeypatch)
+        artifact = tmp_path / "synthetic.npz"
+        code = main(["condense", "--dataset", "tiny-sim", "--method", "mcond",
+                     "--budget", "9", "--output", str(artifact)])
+        assert code == 0
+        capsys.readouterr()
+        code = main(["serve-stream", "--artifact", str(artifact),
+                     "--deltas", "2", "--nodes-per-delta", "1",
+                     "--requests", "6", "--batch-mode", "node"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ingesting 2 deltas" in out
+
+    def test_bench_stream_writes_gated_artifact(self, capsys, monkeypatch,
+                                                tmp_path):
+        import json
+
+        _fast_profile(monkeypatch)
+        output = tmp_path / "BENCH_streaming.json"
+        code = main(["bench-stream", "--dataset", "tiny-sim", "--method",
+                     "whole", "--deltas", "3", "--requests", "8",
+                     "--output", str(output)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "parity" in out
+        payload = json.loads(output.read_text())
+        assert payload["kind"] == "streaming-benchmark"
+        assert payload["parity"]["bit_identical"] is True
+
     def test_condense_whole_with_shards_rejected(self, capsys):
         code = main(["condense", "--dataset", "tiny-sim", "--method", "whole",
                      "--shards", "2"])
