@@ -59,7 +59,9 @@ def main() -> None:
           f"{synthetic_report.mean_batch_milliseconds:>9.2f} "
           f"{synthetic_bytes / 1024:>10.1f}KB")
     print()
-    print(f"speedup  : {original_report.mean_batch_seconds / synthetic_report.mean_batch_seconds:.1f}x")
+    speedup = (original_report.mean_batch_seconds
+               / synthetic_report.mean_batch_seconds)
+    print(f"speedup  : {speedup:.1f}x")
     print(f"smaller  : {original_bytes / synthetic_bytes:.1f}x")
 
 

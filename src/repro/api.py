@@ -57,7 +57,7 @@ from repro.serving.runtime import ServingRuntime
 from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
 __all__ = ["condense", "deploy", "serve", "open_runtime", "open_stream",
-           "evaluation_batch", "DeploymentBundle"]
+           "open_fleet", "evaluation_batch", "DeploymentBundle"]
 
 
 # ----------------------------------------------------------------------
@@ -224,8 +224,18 @@ class DeploymentBundle:
     # ------------------------------------------------------------------
     # Persistence — one .npz per bundle, extending CondensedGraph's scheme.
     # ------------------------------------------------------------------
-    def save(self, path: str | Path) -> Path:
-        """Persist the bundle; returns the normalized ``.npz`` path."""
+    def save(self, path: str | Path, *, layout: str = "compressed") -> Path:
+        """Persist the bundle; returns the normalized ``.npz`` path.
+
+        ``layout="compressed"`` (default) deflates the archive — the
+        smallest artifact.  ``layout="mmap"`` stores members raw so
+        :meth:`load` with ``mmap=True`` can map them zero-copy: every
+        serving replica on a host then shares one page-cache copy of the
+        arrays instead of holding a private decompressed one.
+        """
+        if layout not in ("compressed", "mmap"):
+            raise ConfigError(
+                f"layout must be 'compressed' or 'mmap', got {layout!r}")
         target = normalize_npz_path(path)
         meta = {
             "kind": "deployment-bundle",
@@ -251,13 +261,22 @@ class DeploymentBundle:
             payload["base::features"] = self.base.features
             if self.base.labels is not None:
                 payload["base::labels"] = self.base.labels
-        return save_npz(target, payload)
+        return save_npz(target, payload, compressed=(layout == "compressed"))
 
     @classmethod
-    def load(cls, path: str | Path) -> "DeploymentBundle":
-        """Load a bundle saved by :meth:`save`."""
+    def load(cls, path: str | Path, *, mmap: bool = False) -> "DeploymentBundle":
+        """Load a bundle saved by :meth:`save`.
+
+        ``mmap=True`` memory-maps the artifact read-only: arrays stored
+        uncompressed (``save(layout="mmap")``) are returned as
+        buffer-backed, non-writable views over the shared mapping — the
+        zero-copy path serving replicas use — while compressed members
+        fall back to an eager read.  Serving is bit-for-bit identical
+        either way (the parity tests assert it).
+        """
         target = normalize_npz_path(path)
-        with open_npz_archive(target, "deployment bundle") as archive:
+        with open_npz_archive(target, "deployment bundle",
+                              mmap=mmap) as archive:
             check_format_version(archive, target)
             if "meta_json" not in archive.files:
                 raise ArtifactError(
@@ -455,6 +474,48 @@ def open_stream(bundle: DeploymentBundle | str | Path, *,
         except ServingError:
             pass  # non-linear model: no propagated-feature cache to warm
     return runtime
+
+
+def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
+               router: str = "round-robin", batch_mode: str = "node",
+               mmap: bool = True, start_method: str | None = None):
+    """Open a multi-replica :class:`~repro.serving.fleet.ServingFleet`.
+
+    ``bundle`` is normally a path to a saved artifact — each replica
+    process loads it independently, and with ``mmap=True`` (default) the
+    stored arrays are memory-mapped so every replica on the host shares
+    one page-cache copy instead of holding a private one.  Save artifacts
+    with ``bundle.save(path, layout="mmap")`` to make every member
+    mappable.  An in-memory :class:`DeploymentBundle` is persisted to a
+    temporary mmap-layout artifact first (removed when the fleet closes).
+
+    >>> fleet = api.open_fleet("artifact.npz", replicas=4)  # doctest: +SKIP
+    >>> with fleet:                                         # doctest: +SKIP
+    ...     future = fleet.submit(x, connections, key="user-17")
+    ...     logits = future.result()
+    ...     fleet.swap("artifact-v2.npz")   # rolling, zero dropped traffic
+    """
+    from repro.serving.fleet import ServingFleet
+
+    owns = isinstance(bundle, DeploymentBundle)
+    if owns:
+        import tempfile
+        handle = tempfile.NamedTemporaryFile(
+            prefix="repro-fleet-", suffix=".npz", delete=False)
+        handle.close()
+        artifact = bundle.save(handle.name, layout="mmap")
+    else:
+        artifact = Path(bundle)
+    try:
+        fleet = ServingFleet(artifact, replicas, router=router,
+                             batch_mode=batch_mode, mmap=mmap,
+                             start_method=start_method)
+    except Exception:
+        if owns:
+            artifact.unlink(missing_ok=True)
+        raise
+    fleet.owns_artifact = owns
+    return fleet
 
 
 def evaluation_batch(bundle: DeploymentBundle) -> IncrementalBatch:

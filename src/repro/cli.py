@@ -102,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: auto)")
     condense.add_argument("--output", "--artifact", dest="output", default=None,
                           help="write the deployment bundle to this .npz path")
+    condense.add_argument("--layout", choices=("compressed", "mmap"),
+                          default="compressed",
+                          help="artifact layout: compressed (smallest) or "
+                               "mmap (uncompressed members that serving "
+                               "replicas can memory-map zero-copy); "
+                               "default: compressed")
 
     serve = sub.add_parser(
         "serve",
@@ -224,6 +230,80 @@ def build_parser() -> argparse.ArgumentParser:
                               help="refresh speedup the --gate requires "
                                    "(default: 1.0)")
 
+    fleet = sub.add_parser(
+        "serve-fleet",
+        help="serve a request stream across a pool of replica processes "
+             "sharing one memory-mapped artifact, with health-checked "
+             "failover")
+    fleet.add_argument("--artifact", required=True,
+                       help="deployment bundle produced by 'repro condense "
+                            "--output' (use --layout mmap for zero-copy "
+                            "replica loading)")
+    fleet.add_argument("--replicas", type=int, default=2,
+                       help="replica worker processes (default: 2)")
+    fleet.add_argument("--router", default="round-robin",
+                       help="routing policy registry key "
+                            "(default: round-robin)")
+    fleet.add_argument("--requests", type=int, default=64,
+                       help="requests to replay closed-loop (default: 64)")
+    fleet.add_argument("--nodes-per-request", type=int, default=4,
+                       help="inductive nodes per request (default: 4)")
+    fleet.add_argument("--batch-mode", choices=("graph", "node"),
+                       default="node")
+    fleet.add_argument("--no-mmap", dest="mmap", action="store_false",
+                       help="load the artifact eagerly in every replica "
+                            "instead of memory-mapping it")
+    fleet.add_argument("--kill-one", action="store_true",
+                       help="failover drill: kill one replica mid-stream "
+                            "and report re-routing stats")
+
+    bench_fleet = sub.add_parser(
+        "bench-fleet",
+        help="run the fleet benchmark (throughput scaling across replica "
+             "counts, p95 under failover, mmap vs eager cold start) and "
+             "write BENCH_fleet.json")
+    _add_common(bench_fleet)
+    bench_fleet.add_argument("--method", default="mcond",
+                             help="reduction method registry key "
+                                  "(default: mcond)")
+    bench_fleet.add_argument("--budget", type=int, default=None,
+                             help="synthetic node budget (default: the "
+                                  "dataset's largest registered budget)")
+    bench_fleet.add_argument("--scale", type=float, default=1.0,
+                             help="dataset scale multiplier (default: 1.0)")
+    bench_fleet.add_argument("--deployment", choices=("original", "synthetic"),
+                             default="original",
+                             help="deployment shape to benchmark "
+                                  "(default: original — the artifact size "
+                                  "where zero-copy sharing matters)")
+    bench_fleet.add_argument("--replica-counts", default="1,2,4",
+                             help="comma-separated replica counts "
+                                  "(default: 1,2,4; must include 1)")
+    bench_fleet.add_argument("--requests", type=int, default=48,
+                             help="requests per throughput run (default: 48)")
+    bench_fleet.add_argument("--nodes-per-request", type=int, default=8,
+                             help="inductive nodes per request (default: 8)")
+    bench_fleet.add_argument("--router", default="round-robin",
+                             help="routing policy registry key "
+                                  "(default: round-robin)")
+    bench_fleet.add_argument("--batch-mode", choices=("graph", "node"),
+                             default="node")
+    bench_fleet.add_argument("--output", default="BENCH_fleet.json",
+                             help="output JSON path "
+                                  "(default: BENCH_fleet.json)")
+    bench_fleet.add_argument("--gate", action="store_true",
+                             help="fail (exit 1) unless 2 replicas beat 1 "
+                                  "on throughput (on multi-core hosts), "
+                                  "mmap beats eager cold start, and "
+                                  "failover loses zero requests")
+
+    bench_schema = sub.add_parser(
+        "bench-schema",
+        help="validate benchmark JSON artifacts (BENCH_*.json) against "
+             "their schema checkers; exits 2 on drift")
+    bench_schema.add_argument("files", nargs="+",
+                              help="benchmark JSON files to validate")
+
     bench = sub.add_parser(
         "bench",
         help="run the serving-latency benchmark (cached vs uncached vs "
@@ -320,9 +400,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.set_defaults(handler=_cmd_serve)
     online.set_defaults(handler=_cmd_serve_online)
     stream.set_defaults(handler=_cmd_serve_stream)
+    fleet.set_defaults(handler=_cmd_serve_fleet)
     bench.set_defaults(handler=_cmd_bench)
     bench_condense.set_defaults(handler=_cmd_bench_condense)
     bench_stream.set_defaults(handler=_cmd_bench_stream)
+    bench_fleet.set_defaults(handler=_cmd_bench_fleet)
+    bench_schema.set_defaults(handler=_cmd_bench_schema)
     evaluate.set_defaults(handler=_cmd_eval)
 
     for name in _EXPERIMENTS:
@@ -392,8 +475,8 @@ def _cmd_condense(args) -> int:
         print(f"condensed: {bundle.condensed!r}")
     print(f"deployment storage: {bundle.storage_bytes() / 1024:.1f} KB")
     if args.output:
-        path = bundle.save(args.output)
-        print(f"wrote {path}")
+        path = bundle.save(args.output, layout=args.layout)
+        print(f"wrote {path} ({args.layout} layout)")
     return 0
 
 
@@ -490,6 +573,135 @@ def _cmd_serve_stream(args) -> int:
           f"{stream['rebuilds']} rebuilds ({refresh})")
     print(f"  base graph            {runtime.prepared.num_base} nodes "
           f"(+{stream['appended_nodes']} streamed)")
+    return 0
+
+
+def _cmd_serve_fleet(args) -> int:
+    from repro.serving import replay_fleet, split_requests
+
+    bundle = api.DeploymentBundle.load(args.artifact)
+    print(bundle)
+    batch = api.evaluation_batch(bundle)
+    requests = split_requests(batch, args.requests, args.nodes_per_request)
+    fleet = api.open_fleet(args.artifact, args.replicas, router=args.router,
+                           batch_mode=args.batch_mode, mmap=args.mmap)
+    with fleet:
+        import time
+        started = time.perf_counter()
+        if args.kill_one:
+            half = len(requests) // 2
+            futures = [fleet.submit_batch(r) for r in requests[:half]]
+            fleet.kill_replica(0)
+            print(f"failover drill: killed replica 0 after {half} requests")
+            futures += [fleet.submit_batch(r) for r in requests[half:]]
+            results = []
+            for future in futures:
+                try:
+                    results.append(future.result(timeout=120.0))
+                except ReproError:
+                    results.append(None)
+        else:
+            results = replay_fleet(fleet, requests)
+        wall = time.perf_counter() - started
+        stats = fleet.stats()
+    served = sum(result is not None for result in results)
+    loading = "memory-mapped" if args.mmap else "eagerly loaded"
+    print(f"served {served}/{len(requests)} requests across "
+          f"{args.replicas} replicas ({loading} artifact, "
+          f"{args.router} router)")
+    print(f"  throughput            {served / wall:.0f} req/s")
+    p50, p95 = stats["latency_p50_ms"], stats["latency_p95_ms"]
+    if p50 is not None:
+        print(f"  latency p50/p95       {p50:.2f} / {p95:.2f} ms")
+    print(f"  failover              {stats['rerouted']} re-routed, "
+          f"{stats['respawns']} respawns, {stats['failed']} failed")
+    for rid, replica in stats["per_replica"].items():
+        cold = replica["cold_start_ms"]
+        cold_part = f", cold start {cold:.1f} ms" if cold is not None else ""
+        print(f"  replica {rid}             {replica['served']} served "
+              f"(gen {replica['generation']}{cold_part})")
+    return 0
+
+
+def _cmd_bench_fleet(args) -> int:
+    from repro.serving import (
+        check_fleet_benchmark_schema,
+        gate_fleet_benchmark,
+        run_fleet_benchmark,
+        write_benchmark_json,
+    )
+
+    try:
+        counts = tuple(int(item)
+                       for item in str(args.replica_counts).split(","))
+    except ValueError:
+        raise ConfigError(
+            f"--replica-counts must be a comma-separated list of integers, "
+            f"got {args.replica_counts!r}")
+    result = run_fleet_benchmark(
+        args.dataset, method=args.method, budget=args.budget, seed=args.seed,
+        scale=args.scale, profile=args.effort, deployment=args.deployment,
+        replica_counts=counts, num_requests=args.requests,
+        nodes_per_request=args.nodes_per_request, router=args.router,
+        batch_mode=args.batch_mode)
+    check_fleet_benchmark_schema(result)
+    path = write_benchmark_json(result, args.output)
+    cold = result["cold_start"]
+    print(f"cold start     mmap {cold['mmap_ms']:.2f} ms vs eager "
+          f"{cold['eager_ms']:.2f} ms ({cold['speedup']:.2f}x)")
+    for count in sorted(result["throughput"], key=int):
+        entry = result["throughput"][count]
+        print(f"replicas={count}     {entry['requests_per_s']:.0f} req/s "
+              f"(p95 {entry['latency_p95_ms']:.2f} ms)")
+    failover = result["failover"]
+    print(f"failover       {failover['requests_lost']} lost, "
+          f"{failover['rerouted']} re-routed, p95 "
+          f"{failover['latency_p95_ms']:.2f} ms")
+    print(f"parity         "
+          f"{'ok' if result['parity']['mmap_bitwise_equal'] else 'BROKEN'}")
+    print(f"wrote {path}")
+    if args.gate:
+        failures = gate_fleet_benchmark(result)
+        if failures:
+            for failure in failures:
+                print(f"perf gate: {failure}", file=sys.stderr)
+            return 1
+        mode = result["scaling"]["mode"]
+        print(f"perf gate passed ({mode} scaling mode, "
+              f"{result['usable_cores']} usable cores)")
+    return 0
+
+
+def _cmd_bench_schema(args) -> int:
+    import json
+
+    from repro.condense.bench import check_condense_benchmark_schema
+    from repro.errors import ArtifactError, ServingError
+    from repro.serving import (
+        check_benchmark_schema,
+        check_fleet_benchmark_schema,
+        check_streaming_benchmark_schema,
+    )
+
+    checkers = {
+        "serving-benchmark": check_benchmark_schema,
+        "condense-benchmark": check_condense_benchmark_schema,
+        "streaming-benchmark": check_streaming_benchmark_schema,
+        "fleet-benchmark": check_fleet_benchmark_schema,
+    }
+    for name in args.files:
+        try:
+            with open(name) as handle:
+                result = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ArtifactError(f"cannot read benchmark JSON {name}: {exc}")
+        kind = result.get("kind") if isinstance(result, dict) else None
+        if kind not in checkers:
+            raise ServingError(
+                f"{name}: unknown benchmark kind {kind!r}; "
+                f"expected one of {', '.join(sorted(checkers))}")
+        checkers[kind](result)
+        print(f"{name}: ok ({kind} v{result.get('schema_version')})")
     return 0
 
 
@@ -638,7 +850,7 @@ def _print_report(report) -> None:
 def _cmd_list(args) -> int:
     import repro.serving  # noqa: F401 — populates scheduler/workload registries
     from repro.graph.partition import PARTITIONERS
-    from repro.registry import SCHEDULERS, WORKLOADS
+    from repro.registry import ROUTERS, SCHEDULERS, WORKLOADS
 
     print("reduction methods (repro condense --method):")
     for name, entry in REDUCERS.items():
@@ -656,6 +868,9 @@ def _cmd_list(args) -> int:
     print("\nworkload generators (repro serve-online --workload):")
     for name, entry in WORKLOADS.items():
         print(f"  {name:<10} {entry.description}")
+    print("\nfleet routing policies (repro serve-fleet --router):")
+    for name, entry in ROUTERS.items():
+        print(f"  {name:<16} {entry.description}")
     print("\ntable-II method columns (repro eval --method):")
     for name, spec in METHODS.items():
         print(f"  {name:<10} {spec.setting}")

@@ -173,7 +173,8 @@ class SgcRelay:
         return self.classifier.parameters()
 
     # ------------------------------------------------------------------
-    def propagate_const(self, operator: sp.spmatrix, features: np.ndarray) -> np.ndarray:
+    def propagate_const(self, operator: sp.spmatrix,
+                        features: np.ndarray) -> np.ndarray:
         """Constant K-hop propagation ``Â^K X`` (numpy)."""
         h = np.asarray(features, dtype=np.float64)
         for _ in range(self.k_hops):

@@ -31,7 +31,8 @@ __all__ = ["VngReducer", "weighted_kmeans"]
 
 
 def weighted_kmeans(points: np.ndarray, weights: np.ndarray, k: int,
-                    rng: np.random.Generator, iters: int = 25) -> tuple[np.ndarray, np.ndarray]:
+                    rng: np.random.Generator,
+                    iters: int = 25) -> tuple[np.ndarray, np.ndarray]:
     """Lloyd's algorithm with per-point weights.
 
     Returns ``(assignment, centroids)``.  Empty clusters are reseeded from

@@ -10,7 +10,8 @@ from repro.experiments.settings import (
     FULL,
     current_profile,
 )
-from repro.experiments.pipeline import PreparedDataset, prepare_dataset, ExperimentContext
+from repro.experiments.pipeline import (PreparedDataset, prepare_dataset,
+                                        ExperimentContext)
 from repro.experiments.reporting import format_table, mean_std, format_mean_std
 from repro.experiments.table2 import run_table2, TABLE2_METHODS
 from repro.experiments.fig34 import run_fig34, FIG34_METHODS

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.errors import ConfigError
 from repro.condense import CondensedGraph, MCondResult
-from repro.experiments.settings import EffortProfile, MethodSpec, METHODS, current_profile
+from repro.experiments.settings import (EffortProfile, MethodSpec, METHODS,
+                                        current_profile)
 from repro.graph.datasets import IncrementalBatch, InductiveSplit, load_dataset
 from repro.graph.ops import symmetric_normalize
 from repro.inference.engine import InductiveServer, InferenceReport

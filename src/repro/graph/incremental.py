@@ -19,7 +19,8 @@ import scipy.sparse as sp
 
 from repro.errors import GraphError
 
-__all__ = ["AttachedGraph", "attach_to_original", "attach_to_synthetic", "convert_connections"]
+__all__ = ["AttachedGraph", "attach_to_original", "attach_to_synthetic",
+           "convert_connections"]
 
 
 @dataclass(frozen=True)
@@ -86,8 +87,9 @@ def attach_to_original(
         Optional ``(n, n)`` adjacency ``ea`` among inductive nodes (graph
         batch); ``None`` means the node-batch setting (zero matrix).
     """
-    base = base_adjacency.tocsr().astype(np.float64) if sp.issparse(base_adjacency) \
-        else sp.csr_matrix(np.asarray(base_adjacency, dtype=np.float64))
+    base = (base_adjacency.tocsr().astype(np.float64)
+            if sp.issparse(base_adjacency)
+            else sp.csr_matrix(np.asarray(base_adjacency, dtype=np.float64)))
     num_base = base.shape[0]
     new_feats = np.asarray(new_features, dtype=np.float64)
     num_new = new_feats.shape[0]
@@ -97,7 +99,8 @@ def attach_to_original(
             f"base features rows ({base_feats.shape[0]}) != base nodes ({num_base})")
     if base_feats.shape[1] != new_feats.shape[1]:
         raise GraphError(
-            f"feature dims differ: base {base_feats.shape[1]} vs new {new_feats.shape[1]}")
+            f"feature dims differ: base {base_feats.shape[1]} "
+            f"vs new {new_feats.shape[1]}")
     inc = _as_csr(incremental, (num_new, num_base), "incremental adjacency")
     ea = _as_csr(intra, (num_new, num_new), "intra adjacency")
     augmented = sp.bmat([[base, inc.T], [inc, ea]], format="csr")
@@ -163,7 +166,8 @@ def convert_connections(incremental: sp.spmatrix,
         mapping = np.asarray(mapping, dtype=np.float64)
     if inc.shape[1] != mapping.shape[0]:
         raise GraphError(
-            f"incremental columns ({inc.shape[1]}) != mapping rows ({mapping.shape[0]})")
+            f"incremental columns ({inc.shape[1]}) != "
+            f"mapping rows ({mapping.shape[0]})")
     if sp.issparse(mapping):
         converted = (inc @ mapping.tocsr().astype(np.float64)).tocsr()
     else:

@@ -57,10 +57,12 @@ def symmetrize(adjacency: sp.spmatrix) -> sp.csr_matrix:
     return adj.maximum(adj.T).tocsr()
 
 
-def symmetric_normalize(adjacency: sp.spmatrix, self_loops: bool = True) -> sp.csr_matrix:
+def symmetric_normalize(adjacency: sp.spmatrix,
+                        self_loops: bool = True) -> sp.csr_matrix:
     """GCN normalization ``D^{-1/2} (A [+ I]) D^{-1/2}`` (Eq. 1)."""
     _require_square(adjacency)
-    adj = add_self_loops(adjacency) if self_loops else adjacency.tocsr().astype(np.float64)
+    adj = (add_self_loops(adjacency) if self_loops
+           else adjacency.tocsr().astype(np.float64))
     degree = np.asarray(adj.sum(axis=1)).reshape(-1)
     inv_sqrt = np.zeros_like(degree)
     positive = degree > 0
@@ -72,7 +74,8 @@ def symmetric_normalize(adjacency: sp.spmatrix, self_loops: bool = True) -> sp.c
 def row_normalize(adjacency: sp.spmatrix, self_loops: bool = False) -> sp.csr_matrix:
     """Random-walk normalization ``D^{-1} A`` used by label propagation."""
     _require_square(adjacency)
-    adj = add_self_loops(adjacency) if self_loops else adjacency.tocsr().astype(np.float64)
+    adj = (add_self_loops(adjacency) if self_loops
+           else adjacency.tocsr().astype(np.float64))
     degree = np.asarray(adj.sum(axis=1)).reshape(-1)
     inv = np.zeros_like(degree)
     positive = degree > 0
@@ -90,7 +93,8 @@ def normalize_adjacency(adjacency: sp.spmatrix, method: str = "sym",
     raise GraphError(f"unknown normalization method {method!r}; use 'sym' or 'row'")
 
 
-def dense_symmetric_normalize(adjacency: np.ndarray, self_loops: bool = True) -> np.ndarray:
+def dense_symmetric_normalize(adjacency: np.ndarray,
+                              self_loops: bool = True) -> np.ndarray:
     """Dense counterpart of :func:`symmetric_normalize` for synthetic graphs.
 
     Operates on plain numpy arrays; the differentiable version used inside

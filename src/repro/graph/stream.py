@@ -130,11 +130,13 @@ class GraphDelta:
                     f"add_labels shape {labels.shape} != "
                     f"({self.num_new_nodes},)")
             object.__setattr__(self, "add_labels", labels)
-        edges = _as_edge_array(self.add_edges, "add_edges") \
-            if self.add_edges is not None else np.empty((0, 2), np.int64)
+        edges = (_as_edge_array(self.add_edges, "add_edges")
+                 if self.add_edges is not None
+                 else np.empty((0, 2), np.int64))
         object.__setattr__(self, "add_edges", edges)
-        removed = _as_edge_array(self.remove_edges, "remove_edges") \
-            if self.remove_edges is not None else np.empty((0, 2), np.int64)
+        removed = (_as_edge_array(self.remove_edges, "remove_edges")
+                   if self.remove_edges is not None
+                   else np.empty((0, 2), np.int64))
         object.__setattr__(self, "remove_edges", removed)
         if self.add_weights is not None:
             weights = np.asarray(self.add_weights, dtype=np.float64)

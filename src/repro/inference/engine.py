@@ -25,7 +25,8 @@ from repro.errors import InferenceError
 from repro.condense.base import CondensedGraph
 from repro.graph.datasets import IncrementalBatch
 from repro.graph.graph import Graph
-from repro.graph.incremental import AttachedGraph, attach_to_original, attach_to_synthetic
+from repro.graph.incremental import (AttachedGraph, attach_to_original,
+                                     attach_to_synthetic)
 from repro.graph.ops import symmetric_normalize
 from repro.graph.sampling import iterate_minibatches
 from repro.nn.metrics import accuracy

@@ -34,7 +34,8 @@ from repro.nn.trainer import (
     evaluate_logits,
     evaluate_accuracy,
 )
-from repro.nn.metrics import accuracy, macro_f1, confusion_matrix, predictions_from_logits
+from repro.nn.metrics import (accuracy, macro_f1, confusion_matrix,
+                              predictions_from_logits)
 
 
 def __getattr__(name: str):

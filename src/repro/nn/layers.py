@@ -18,7 +18,8 @@ from repro.nn.module import Module, Parameter
 from repro.tensor.sparse import spmm
 from repro.tensor.tensor import Tensor, add, as_tensor, concat, matmul, relu
 
-__all__ = ["propagate", "Linear", "GCNConv", "SAGEConv", "ChebConv", "APPNPPropagate", "MLPBlock"]
+__all__ = ["propagate", "Linear", "GCNConv", "SAGEConv", "ChebConv",
+           "APPNPPropagate", "MLPBlock"]
 
 
 def propagate(operator, h: Tensor) -> Tensor:
@@ -149,7 +150,8 @@ class APPNPPropagate(Module):
         h = as_tensor(h)
         z = h
         for _ in range(self.k_hops):
-            z = Tensor(1.0 - self.alpha) * propagate(operator, z) + Tensor(self.alpha) * h
+            z = (Tensor(1.0 - self.alpha) * propagate(operator, z)
+                 + Tensor(self.alpha) * h)
         return z
 
     def __call__(self, operator, h: Tensor) -> Tensor:

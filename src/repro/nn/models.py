@@ -17,7 +17,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConfigError
-from repro.nn.layers import APPNPPropagate, ChebConv, GCNConv, Linear, SAGEConv, propagate
+from repro.nn.layers import (APPNPPropagate, ChebConv, GCNConv, Linear,
+                             SAGEConv, propagate)
 from repro.nn.module import Module
 from repro.registry import MODELS, register_model
 from repro.tensor.tensor import Tensor, as_tensor, dropout, relu

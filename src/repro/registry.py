@@ -31,14 +31,17 @@ __all__ = [
     "DATASETS",
     "SCHEDULERS",
     "WORKLOADS",
+    "ROUTERS",
     "register_reducer",
     "register_model",
     "register_dataset",
     "register_scheduler",
     "register_workload",
+    "register_router",
     "make_reducer",
     "make_scheduler",
     "make_workload",
+    "make_router",
 ]
 
 T = TypeVar("T")
@@ -103,7 +106,8 @@ class Registry(Generic[T]):
     @staticmethod
     def _normalize(name: str) -> str:
         if not isinstance(name, str) or not name:
-            raise RegistryError(f"registry keys must be non-empty strings, got {name!r}")
+            raise RegistryError(
+                f"registry keys must be non-empty strings, got {name!r}")
         return name.lower()
 
     def __repr__(self) -> str:
@@ -147,6 +151,7 @@ MODELS: Registry[type] = Registry("model architecture")
 DATASETS: Registry[Any] = Registry("dataset")
 SCHEDULERS: Registry[FactoryEntry] = Registry("micro-batch scheduler")
 WORKLOADS: Registry[FactoryEntry] = Registry("workload generator")
+ROUTERS: Registry[FactoryEntry] = Registry("fleet routing policy")
 
 
 def register_reducer(name: str, *, profile_params: tuple[str, ...] = (),
@@ -218,6 +223,20 @@ def register_workload(name: str, *, description: str = "",
     return wrap
 
 
+def register_router(name: str, *, description: str = "",
+                    overwrite: bool = False):
+    """Decorator registering a fleet routing-policy factory under ``name``."""
+
+    def wrap(factory):
+        ROUTERS.register(
+            name, FactoryEntry(name=name.lower(), factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+
+    return wrap
+
+
 def make_reducer(method: str, seed: int = 0, **cfg):
     """Instantiate a registered reduction method.
 
@@ -236,3 +255,8 @@ def make_scheduler(name: str, **cfg):
 def make_workload(name: str, **cfg):
     """Instantiate a registered workload generator."""
     return WORKLOADS.get(name).factory(**cfg)
+
+
+def make_router(name: str, **cfg):
+    """Instantiate a registered fleet routing policy."""
+    return ROUTERS.get(name).factory(**cfg)

@@ -11,13 +11,20 @@ for.  The pieces:
 - :mod:`~repro.serving.queue` — bounded admission with backpressure;
 - :mod:`~repro.serving.workload` — Poisson/bursty/ramp traffic shapes;
 - :mod:`~repro.serving.stats` — p50/p95/p99 latency accounting;
+- :mod:`~repro.serving.fleet` — the multi-replica process fleet: replica
+  pool over a shared memory-mapped artifact, pluggable routers,
+  health-checked failover, zero-downtime hot swaps;
 - :mod:`~repro.serving.bench` — the ``repro bench`` latency benchmark;
 - :mod:`~repro.serving.stream_bench` — the ``repro bench-stream``
-  streaming-evolution benchmark (delta refresh vs full rebuild).
+  streaming-evolution benchmark (delta refresh vs full rebuild);
+- :mod:`~repro.serving.fleet_bench` — the ``repro bench-fleet``
+  throughput-scaling / failover / cold-start benchmark.
 
 Entry points: ``repro.api.open_runtime(bundle)`` for a frozen deployment,
 ``repro.api.open_stream(bundle)`` for one that ingests
-:class:`~repro.graph.stream.GraphDelta` traffic while serving.
+:class:`~repro.graph.stream.GraphDelta` traffic while serving, and
+``repro.api.open_fleet(artifact)`` for a horizontally-scaled replica
+fleet.
 """
 
 from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
@@ -56,6 +63,22 @@ from repro.serving.stream_bench import (
     gate_streaming_benchmark,
     run_streaming_benchmark,
 )
+from repro.serving.fleet import (
+    ConsistentHashRouter,
+    FleetFuture,
+    LeastLoadedRouter,
+    ReplicaPool,
+    Router,
+    RoundRobinRouter,
+    ServingFleet,
+    replay_fleet,
+)
+from repro.serving.fleet_bench import (
+    FLEET_BENCH_SCHEMA_VERSION,
+    check_fleet_benchmark_schema,
+    gate_fleet_benchmark,
+    run_fleet_benchmark,
+)
 
 __all__ = [
     "PreparedDeployment", "DeltaRefreshReport",
@@ -70,4 +93,9 @@ __all__ = [
     "check_benchmark_schema",
     "STREAM_BENCH_SCHEMA_VERSION", "check_streaming_benchmark_schema",
     "gate_streaming_benchmark", "run_streaming_benchmark",
+    "ServingFleet", "ReplicaPool", "FleetFuture", "Router",
+    "RoundRobinRouter", "LeastLoadedRouter", "ConsistentHashRouter",
+    "replay_fleet",
+    "FLEET_BENCH_SCHEMA_VERSION", "check_fleet_benchmark_schema",
+    "gate_fleet_benchmark", "run_fleet_benchmark",
 ]

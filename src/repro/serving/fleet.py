@@ -1,0 +1,824 @@
+"""Horizontally-scaled serving: a fleet of replica processes, one router.
+
+One :class:`~repro.serving.runtime.ServingRuntime` owns one
+:class:`~repro.serving.prepared.PreparedDeployment` in one process — the
+single-host deployment shape.  This module is the fleet shape behind the
+ROADMAP's "heavy traffic" north star: ``N`` replica *processes*, each
+holding a prepared deployment built over the same memory-mapped artifact
+(so the big arrays live once in the host's page cache, not ``N`` times),
+behind a router with pluggable balancing policies.
+
+The moving parts:
+
+- :class:`ReplicaPool` — spawns/respawns the worker processes, watches
+  their health, and drains them one at a time for hot swaps;
+- :class:`Router` policies (:data:`repro.registry.ROUTERS`):
+  ``round-robin``, ``least-loaded``, and ``consistent-hash`` on an
+  optional per-request key;
+- :class:`ServingFleet` — the public facade: ``submit`` returns a
+  :class:`FleetFuture`; a killed replica's in-flight requests are
+  re-routed to survivors and the pool respawns the dead slot;
+  ``swap(artifact)`` rolls a new artifact across the fleet with zero
+  dropped traffic.
+
+Every request is served as its own batch by exactly one replica, so the
+returned logits are bitwise identical to
+``PreparedDeployment.serve_batch`` on the same request — which replica
+answers (and every failover re-route) is invisible in the outputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import queue as _queue
+import threading
+import time
+from bisect import bisect_right
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ServingError
+from repro.graph.datasets import IncrementalBatch
+from repro.inference.benchmark import latency_percentiles
+from repro.registry import make_router, register_router
+from repro.serving.runtime import ServingFuture
+from repro.serving.stats import RequestRecord
+
+__all__ = ["ServingFleet", "ReplicaPool", "FleetFuture", "Router",
+           "RoundRobinRouter", "LeastLoadedRouter", "ConsistentHashRouter",
+           "replay_fleet"]
+
+
+# ----------------------------------------------------------------------
+# Routing policies
+# ----------------------------------------------------------------------
+class Router:
+    """Pick the replica that serves a request.
+
+    ``select`` receives the request's optional ``key``, the ready replica
+    ids (sorted, never empty), and the in-flight load per replica.  It
+    must return one of the candidates.
+    """
+
+    name = "base"
+
+    def select(self, key: str | None, candidates: list[int],
+               loads: dict[int, int]) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class RoundRobinRouter(Router):
+    """Cycle through the ready replicas in id order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(self, key: str | None, candidates: list[int],
+               loads: dict[int, int]) -> int:
+        choice = candidates[self._next % len(candidates)]
+        self._next += 1
+        return choice
+
+
+class LeastLoadedRouter(Router):
+    """Send each request to the replica with the fewest in-flight ones."""
+
+    name = "least-loaded"
+
+    def select(self, key: str | None, candidates: list[int],
+               loads: dict[int, int]) -> int:
+        return min(candidates, key=lambda rid: (loads.get(rid, 0), rid))
+
+
+def _stable_hash(value: str) -> int:
+    """Process-independent 64-bit hash (``hash()`` is salted per run)."""
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRouter(Router):
+    """Hash the request key onto a ring of replica virtual nodes.
+
+    The same key lands on the same replica for as long as that replica is
+    alive (session affinity for its warm caches); when the candidate set
+    changes, only the keys that hashed to the lost/gained arcs move.
+    Keyless requests fall back to round-robin.
+    """
+
+    name = "consistent-hash"
+
+    def __init__(self, virtual_nodes: int = 64) -> None:
+        if virtual_nodes <= 0:
+            raise ServingError(
+                f"virtual_nodes must be positive, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._fallback = RoundRobinRouter()
+        self._rings: dict[tuple[int, ...], tuple[list[int], list[int]]] = {}
+
+    def _ring(self, candidates: list[int]) -> tuple[list[int], list[int]]:
+        signature = tuple(candidates)
+        if signature not in self._rings:
+            points = []
+            for rid in candidates:
+                for v in range(self.virtual_nodes):
+                    points.append((_stable_hash(f"replica-{rid}#{v}"), rid))
+            points.sort()
+            self._rings[signature] = ([p[0] for p in points],
+                                      [p[1] for p in points])
+        return self._rings[signature]
+
+    def select(self, key: str | None, candidates: list[int],
+               loads: dict[int, int]) -> int:
+        if key is None:
+            return self._fallback.select(key, candidates, loads)
+        hashes, owners = self._ring(candidates)
+        position = bisect_right(hashes, _stable_hash(str(key)))
+        return owners[position % len(owners)]
+
+
+@register_router("round-robin",
+                 description="cycle through the ready replicas in id order")
+def _round_robin(**_ignored) -> RoundRobinRouter:
+    return RoundRobinRouter()
+
+
+@register_router("least-loaded",
+                 description="pick the replica with the fewest in-flight "
+                             "requests")
+def _least_loaded(**_ignored) -> LeastLoadedRouter:
+    return LeastLoadedRouter()
+
+
+@register_router("consistent-hash",
+                 description="hash the request key onto a replica ring "
+                             "(session affinity)")
+def _consistent_hash(virtual_nodes: int = 64,
+                     **_ignored) -> ConsistentHashRouter:
+    return ConsistentHashRouter(virtual_nodes=virtual_nodes)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _replica_worker(replica_id: int, generation: int, artifact: str,
+                    mmap_load: bool, batch_mode: str, inbox, outbox) -> None:
+    """Load the artifact, announce readiness, then serve until ``stop``.
+
+    Runs in a child process.  The bundle is loaded *here* — with
+    ``mmap_load`` every replica maps the same file, sharing one page-cache
+    copy of the stored arrays across the fleet.
+    """
+    started = time.perf_counter()
+    try:
+        from repro.api import DeploymentBundle
+        bundle = DeploymentBundle.load(artifact, mmap=mmap_load)
+        prepared = bundle.prepare()
+        cold_start = time.perf_counter() - started
+        outbox.put(("ready", replica_id, generation, cold_start))
+    except BaseException as error:  # noqa: BLE001 — reported to the pool
+        outbox.put(("fatal", replica_id, generation,
+                    f"{type(error).__name__}: {error}"))
+        return
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            return
+        _, request_id, batch = message
+        try:
+            logits, seconds, _ = prepared.serve_batch(batch, batch_mode)
+            outbox.put(("done", replica_id, generation, request_id,
+                        logits, seconds))
+        except Exception as error:  # noqa: BLE001 — forwarded to the future
+            outbox.put(("error", replica_id, generation, request_id,
+                        f"{type(error).__name__}: {error}"))
+
+
+# ----------------------------------------------------------------------
+# Futures and bookkeeping
+# ----------------------------------------------------------------------
+class FleetFuture(ServingFuture):
+    """Completion handle for one fleet request.
+
+    Extends :class:`~repro.serving.runtime.ServingFuture` with the
+    replica that answered and the number of dispatch attempts (1 unless
+    failover re-routed the request).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.replica_id: int | None = None
+        self.attempts: int = 0
+
+
+@dataclass
+class _Pending:
+    """Parent-side copy of an in-flight request (the failover source)."""
+
+    request_id: int
+    batch: IncrementalBatch
+    key: str | None
+    future: FleetFuture
+    submitted_at: float
+    replica_id: int | None = None
+    attempts: int = 0
+
+
+@dataclass
+class _Replica:
+    """One replica slot: a worker process plus its dispatch state."""
+
+    replica_id: int
+    generation: int
+    process: object
+    inbox: object
+    state: str = "starting"  # starting|ready|draining|stopping|dead
+    inflight: set = field(default_factory=set)
+    served: int = 0
+    cold_start_seconds: float | None = None
+    last_error: str | None = None
+    spawn_failures: int = 0
+
+
+class ReplicaPool:
+    """Owns the replica processes: spawn, health, respawn, drain, stop.
+
+    The pool knows nothing about requests — :class:`ServingFleet` layers
+    dispatch and failover on top through the callbacks it registers.
+    """
+
+    def __init__(self, artifact: str | Path, size: int, *,
+                 mmap: bool = True, batch_mode: str = "node",
+                 start_method: str | None = None,
+                 max_spawn_retries: int = 2) -> None:
+        if size <= 0:
+            raise ServingError(f"fleet size must be positive, got {size}")
+        self.artifact = Path(artifact)
+        self.size = size
+        self.mmap = mmap
+        self.batch_mode = batch_mode
+        self.max_spawn_retries = max_spawn_retries
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(start_method)
+        self.results = self._context.Queue()
+        self.replicas: dict[int, _Replica] = {}
+        self.respawns = 0
+        for replica_id in range(size):
+            self.replicas[replica_id] = self._spawn(replica_id, generation=0)
+
+    # ------------------------------------------------------------------
+    def _spawn(self, replica_id: int, generation: int) -> _Replica:
+        inbox = self._context.Queue()
+        process = self._context.Process(
+            target=_replica_worker,
+            args=(replica_id, generation, str(self.artifact), self.mmap,
+                  self.batch_mode, inbox, self.results),
+            name=f"repro-replica-{replica_id}", daemon=True)
+        process.start()
+        return _Replica(replica_id=replica_id, generation=generation,
+                        process=process, inbox=inbox)
+
+    @staticmethod
+    def _discard_inbox(replica: _Replica) -> None:
+        """Release an inbox whose reader is gone.
+
+        Without ``cancel_join_thread`` the queue's feeder thread blocks
+        interpreter exit trying to flush buffered requests into a pipe no
+        process will ever read (the stranded requests were already
+        re-dispatched from the parent-side copies).
+        """
+        try:
+            replica.inbox.cancel_join_thread()
+            replica.inbox.close()
+        except (OSError, ValueError):
+            pass
+
+    def respawn(self, replica_id: int,
+                artifact: str | Path | None = None) -> _Replica:
+        """Replace a slot's process (after a crash or for a swap)."""
+        old = self.replicas[replica_id]
+        self._discard_inbox(old)
+        if artifact is not None:
+            self.artifact = Path(artifact)
+        replica = self._spawn(replica_id, generation=old.generation + 1)
+        replica.spawn_failures = old.spawn_failures
+        self.replicas[replica_id] = replica
+        self.respawns += 1
+        return replica
+
+    def ready_ids(self) -> list[int]:
+        return sorted(rid for rid, r in self.replicas.items()
+                      if r.state == "ready")
+
+    def stop_replica(self, replica: _Replica, join_timeout: float = 5.0) -> None:
+        """Graceful stop: the worker exits after its current request."""
+        replica.state = "stopping"
+        try:
+            replica.inbox.put(("stop",))
+        except (OSError, ValueError):
+            pass  # queue already torn down with a dead process
+        replica.process.join(timeout=join_timeout)
+        if replica.process.is_alive():
+            replica.process.terminate()
+            replica.process.join(timeout=join_timeout)
+        replica.state = "dead"
+        self._discard_inbox(replica)
+
+    def kill_replica(self, replica_id: int) -> None:
+        """Fault injection: kill the worker process outright (SIGKILL).
+
+        Used by the failover tests, the benchmark's failover phase, and
+        operational drills — the monitor then re-routes the slot's
+        in-flight requests and respawns it.
+        """
+        self.replicas[replica_id].process.kill()
+
+    def stop_all(self, join_timeout: float = 5.0) -> None:
+        for replica in self.replicas.values():
+            if replica.state != "dead":
+                self.stop_replica(replica, join_timeout)
+
+    def __repr__(self) -> str:
+        states = {rid: r.state for rid, r in sorted(self.replicas.items())}
+        return (f"ReplicaPool(size={self.size}, mmap={self.mmap}, "
+                f"states={states})")
+
+
+# ----------------------------------------------------------------------
+# The fleet facade
+# ----------------------------------------------------------------------
+class ServingFleet:
+    """Serve requests across a pool of replica processes.
+
+    Parameters
+    ----------
+    artifact:
+        Path to a :class:`repro.api.DeploymentBundle` ``.npz``.  Save it
+        with ``layout="mmap"`` so the replicas share the arrays through
+        the page cache (``mmap=True`` is still safe — compressed members
+        just load eagerly per replica).
+    replicas:
+        Number of worker processes.
+    router:
+        A :class:`Router` instance or a :data:`repro.registry.ROUTERS`
+        key (``round-robin``, ``least-loaded``, ``consistent-hash``).
+    batch_mode:
+        ``"graph"`` or ``"node"`` — fixed per fleet, like a runtime.
+    mmap:
+        Memory-map the artifact in every replica (zero-copy load).
+    max_retries:
+        Dispatch attempts per request before its future fails (failover
+        re-routes count against this).
+    """
+
+    _POLL_SECONDS = 0.02
+
+    def __init__(self, artifact: str | Path, replicas: int = 2, *,
+                 router: Router | str = "round-robin",
+                 batch_mode: str = "node", mmap: bool = True,
+                 start_method: str | None = None, max_retries: int = 3,
+                 start_timeout: float = 120.0,
+                 latency_window: int = 4096) -> None:
+        if batch_mode not in ("graph", "node"):
+            raise ServingError(
+                f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
+        if isinstance(router, str):
+            router = make_router(router)
+        self.router = router
+        self.batch_mode = batch_mode
+        self.max_retries = max_retries
+        self._lock = threading.RLock()
+        self._pending: dict[int, _Pending] = {}
+        self._orphans: deque[_Pending] = deque()
+        self._request_ids = iter(range(1, 2**63))
+        self._closing = threading.Event()
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        #: Set by ``api.open_fleet`` when it persisted a temp artifact for
+        #: an in-memory bundle; ``close`` then removes the file.
+        self.owns_artifact = False
+        self.completed = 0
+        self.failed = 0
+        self.rerouted = 0
+        self.pool = ReplicaPool(artifact, replicas, mmap=mmap,
+                                batch_mode=batch_mode,
+                                start_method=start_method)
+        self._collector = threading.Thread(target=self._collect_forever,
+                                           name="repro-fleet-collector",
+                                           daemon=True)
+        self._monitor = threading.Thread(target=self._monitor_forever,
+                                         name="repro-fleet-monitor",
+                                         daemon=True)
+        self._collector.start()
+        self._monitor.start()
+        self.wait_ready(timeout=start_timeout)
+
+    # ------------------------------------------------------------------
+    # Admission and dispatch
+    # ------------------------------------------------------------------
+    def submit(self, features, incremental, intra=None, *,
+               key: str | None = None) -> FleetFuture:
+        """Admit one request; returns its :class:`FleetFuture`.
+
+        ``key`` feeds the routing policy (consistent-hash affinity);
+        requests without a key follow the policy's keyless behavior.
+        """
+        feats = np.asarray(features, dtype=np.float64)
+        if feats.ndim == 1:
+            feats = feats[None, :]
+        if feats.ndim != 2 or feats.shape[0] == 0:
+            raise ServingError(
+                f"request features must be (n >= 1, d), got {feats.shape}")
+        n = feats.shape[0]
+        if not sp.issparse(incremental):
+            incremental = sp.csr_matrix(
+                np.atleast_2d(np.asarray(incremental, dtype=np.float64)))
+        incremental = incremental.tocsr().astype(np.float64)
+        if intra is None:
+            intra = sp.csr_matrix((n, n), dtype=np.float64)
+        elif not sp.issparse(intra):
+            intra = sp.csr_matrix(np.asarray(intra, dtype=np.float64))
+        batch = IncrementalBatch(
+            features=feats, incremental=incremental, intra=intra.tocsr(),
+            labels=np.full(n, -1, dtype=np.int64))
+        return self.submit_batch(batch, key=key)
+
+    def submit_batch(self, batch: IncrementalBatch, *,
+                     key: str | None = None) -> FleetFuture:
+        """Admit a pre-assembled :class:`IncrementalBatch` as one request."""
+        entry = _Pending(request_id=next(self._request_ids), batch=batch,
+                         key=key, future=FleetFuture(),
+                         submitted_at=time.perf_counter())
+        with self._lock:
+            # checked under the lock: close() sweeps _pending under it,
+            # so a request can never slip in after the sweep and hang
+            if self._closing.is_set():
+                raise ServingError("fleet is closed; cannot submit requests")
+            self._pending[entry.request_id] = entry
+            self._dispatch(entry)
+        return entry.future
+
+    def _dispatch(self, entry: _Pending) -> None:
+        """Route one request (caller holds the lock; never raises).
+
+        With no ready replica — mid-failover or mid-swap on a small fleet
+        — the request parks and is re-dispatched the moment a replica
+        reports ready, so traffic queues instead of dropping.  A
+        misbehaving router fails the *request*, not the dispatching
+        thread: this runs inside the collector/monitor loops too, where
+        an escaped exception would silently kill health checking.
+        """
+        if entry.attempts >= self.max_retries:
+            self._fail_entry(entry, ServingError(
+                f"request failed after {entry.attempts} dispatch attempts "
+                "(replicas kept dying mid-serve)"))
+            return
+        candidates = self.pool.ready_ids()
+        if not candidates:
+            self._orphans.append(entry)
+            return
+        loads = {rid: len(self.pool.replicas[rid].inflight)
+                 for rid in candidates}
+        try:
+            replica_id = self.router.select(entry.key, candidates, loads)
+        except Exception as error:  # noqa: BLE001 — routed to the future
+            self._fail_entry(entry, ServingError(
+                f"router {self.router!r} failed to pick a replica: "
+                f"{type(error).__name__}: {error}"))
+            return
+        if replica_id not in candidates:
+            self._fail_entry(entry, ServingError(
+                f"router {self.router!r} picked replica {replica_id}, "
+                f"not one of the ready candidates {candidates}"))
+            return
+        replica = self.pool.replicas[replica_id]
+        entry.replica_id = replica_id
+        entry.attempts += 1
+        replica.inflight.add(entry.request_id)
+        replica.inbox.put(("serve", entry.request_id, entry.batch))
+
+    def _fail_entry(self, entry: _Pending, error: ServingError) -> None:
+        """Terminal failure of one request (caller holds the lock)."""
+        self._pending.pop(entry.request_id, None)
+        self.failed += 1
+        entry.future._fail(error)
+
+    def _redispatch_orphans(self) -> None:
+        while self._orphans and self.pool.ready_ids():
+            self._dispatch(self._orphans.popleft())
+
+    # ------------------------------------------------------------------
+    # Collector: worker results → futures
+    # ------------------------------------------------------------------
+    def _collect_forever(self) -> None:
+        while not (self._closing.is_set() and not self._pending
+                   and not self._orphans):
+            try:
+                message = self.pool.results.get(timeout=self._POLL_SECONDS)
+            except _queue.Empty:
+                continue
+            except (OSError, ValueError):
+                return  # results queue torn down during close
+            self._handle_message(message)
+
+    def _handle_message(self, message: tuple) -> None:
+        kind, replica_id, generation = message[0], message[1], message[2]
+        with self._lock:
+            replica = self.pool.replicas.get(replica_id)
+            current = replica is not None and replica.generation == generation
+            if kind == "ready" and current:
+                replica.cold_start_seconds = message[3]
+                replica.spawn_failures = 0
+                if replica.state == "starting":
+                    replica.state = "ready"
+                self._redispatch_orphans()
+            elif kind == "fatal" and current:
+                replica.last_error = message[3]
+                # the monitor reaps the exited process and decides whether
+                # another spawn attempt is worth it
+            elif kind in ("done", "error"):
+                request_id = message[3]
+                entry = self._pending.pop(request_id, None)
+                if current:
+                    replica.inflight.discard(request_id)
+                if entry is None:
+                    return  # already failed, or resolved by a re-route
+                if kind == "done":
+                    logits, compute_seconds = message[4], message[5]
+                    wall = time.perf_counter() - entry.submitted_at
+                    self._latencies.append(wall)
+                    self.completed += 1
+                    if current:
+                        replica.served += 1
+                    entry.future.replica_id = replica_id
+                    entry.future.attempts = entry.attempts
+                    entry.future._resolve(logits, RequestRecord(
+                        num_nodes=entry.batch.num_nodes,
+                        queue_seconds=max(wall - compute_seconds, 0.0),
+                        compute_seconds=compute_seconds, batch_size=1))
+                else:
+                    self.failed += 1
+                    entry.future.replica_id = replica_id
+                    entry.future.attempts = entry.attempts
+                    entry.future._fail(ServingError(
+                        f"replica {replica_id} failed the request: "
+                        f"{message[4]}"))
+
+    # ------------------------------------------------------------------
+    # Monitor: health checks, failover, respawn
+    # ------------------------------------------------------------------
+    def _monitor_forever(self) -> None:
+        while not self._closing.is_set():
+            self._check_health()
+            time.sleep(self._POLL_SECONDS)
+
+    def _check_health(self) -> None:
+        with self._lock:
+            for replica in list(self.pool.replicas.values()):
+                if replica.state in ("stopping", "dead"):
+                    continue
+                if replica.process.is_alive():
+                    continue
+                self._handle_death(replica)
+
+    def _handle_death(self, replica: _Replica) -> None:
+        """A replica died unannounced: re-route its work, refill the slot."""
+        failed_start = replica.state == "starting"
+        replica.state = "dead"
+        self.pool._discard_inbox(replica)
+        stranded = [self._pending[rid] for rid in sorted(replica.inflight)
+                    if rid in self._pending]
+        replica.inflight.clear()
+        if failed_start:
+            replica.spawn_failures += 1
+        if replica.spawn_failures <= self.pool.max_spawn_retries:
+            self.pool.respawn(replica.replica_id)
+        for entry in stranded:
+            self.rerouted += 1
+            self._dispatch(entry)
+
+    def wait_ready(self, timeout: float = 120.0) -> None:
+        """Block until every replica slot is ready (or raise)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                states = [r.state for r in self.pool.replicas.values()]
+                errors = [r.last_error for r in self.pool.replicas.values()
+                          if r.last_error]
+                exhausted = [r for r in self.pool.replicas.values()
+                             if r.state == "dead"
+                             and r.spawn_failures > self.pool.max_spawn_retries]
+            if exhausted:
+                self.close(drain=False)
+                detail = errors[-1] if errors else "worker exited at startup"
+                raise ServingError(
+                    f"replica {exhausted[0].replica_id} failed to start "
+                    f"after {self.pool.max_spawn_retries + 1} attempts: "
+                    f"{detail}")
+            if all(state == "ready" for state in states):
+                return
+            if time.monotonic() > deadline:
+                self.close(drain=False)
+                raise ServingError(
+                    f"fleet not ready within {timeout}s (states: {states})")
+            time.sleep(self._POLL_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def swap(self, artifact: str | Path, *,
+             drain_timeout: float = 60.0) -> None:
+        """Roll ``artifact`` across the fleet with zero dropped traffic.
+
+        Replicas are drained one at a time: the slot stops receiving new
+        requests, finishes its in-flight ones, restarts on the new
+        artifact, and rejoins before the next slot starts draining — the
+        rest of the fleet keeps serving throughout.
+        """
+        artifact = Path(artifact)
+        for replica_id in sorted(self.pool.replicas):
+            with self._lock:
+                replica = self.pool.replicas[replica_id]
+                if replica.state == "ready":
+                    replica.state = "draining"
+            self._wait_drained(replica_id, drain_timeout)
+            with self._lock:
+                # re-read the slot: if the draining worker died, the
+                # monitor already respawned it — stop whatever process
+                # holds the slot *now*, not a stale handle, or the
+                # replacement would leak unsupervised
+                replica = self.pool.replicas[replica_id]
+                self.pool.stop_replica(replica)
+                self.pool.respawn(replica_id, artifact=artifact)
+            self._wait_slot_ready(replica_id, drain_timeout)
+        self.pool.artifact = artifact
+
+    def _wait_drained(self, replica_id: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                # look the slot up fresh each poll — a mid-drain death
+                # swaps in a respawned replica whose inflight starts empty
+                replica = self.pool.replicas[replica_id]
+                if not replica.inflight:
+                    return
+            if time.monotonic() > deadline:
+                raise ServingError(
+                    f"replica {replica_id} did not drain within "
+                    f"{timeout}s ({len(replica.inflight)} in flight)")
+            time.sleep(self._POLL_SECONDS)
+
+    def _wait_slot_ready(self, replica_id: int, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                replica = self.pool.replicas[replica_id]
+                if replica.state == "ready":
+                    return
+                if (replica.state == "dead"
+                        and replica.spawn_failures > self.pool.max_spawn_retries):
+                    raise ServingError(
+                        f"swap failed: replica {replica_id} could not start "
+                        f"on the new artifact: {replica.last_error}")
+            if time.monotonic() > deadline:
+                raise ServingError(
+                    f"swap failed: replica {replica_id} not ready within "
+                    f"{timeout}s")
+            time.sleep(self._POLL_SECONDS)
+
+    # ------------------------------------------------------------------
+    # Fault injection and introspection
+    # ------------------------------------------------------------------
+    def kill_replica(self, replica_id: int) -> None:
+        """Kill one replica process outright (failover drill)."""
+        self.pool.kill_replica(replica_id)
+
+    @property
+    def num_replicas(self) -> int:
+        return self.pool.size
+
+    def drain(self, timeout: float = 120.0) -> None:
+        """Block until every admitted request has resolved."""
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                if not self._pending and not self._orphans:
+                    return
+            if time.monotonic() > deadline:
+                raise ServingError(f"fleet did not drain within {timeout}s")
+            time.sleep(self._POLL_SECONDS)
+
+    def reset_latencies(self) -> None:
+        """Drop the recorded wall latencies (e.g. after cache warm-up),
+        so :meth:`stats` percentiles reflect steady-state serving only."""
+        with self._lock:
+            self._latencies.clear()
+
+    def stats(self) -> dict:
+        """JSON-ready fleet accounting: volume, failover, tail latency."""
+        with self._lock:
+            latencies = list(self._latencies)
+            per_replica = {
+                str(rid): {"served": r.served, "state": r.state,
+                           "generation": r.generation,
+                           "cold_start_ms":
+                               None if r.cold_start_seconds is None
+                               else r.cold_start_seconds * 1e3}
+                for rid, r in sorted(self.pool.replicas.items())}
+            summary = {
+                "replicas": self.pool.size,
+                "router": getattr(self.router, "name", type(self.router).__name__),
+                "completed": self.completed,
+                "failed": self.failed,
+                "rerouted": self.rerouted,
+                "respawns": self.pool.respawns,
+                # orphans stay tracked in _pending while parked
+                "pending": len(self._pending),
+                "per_replica": per_replica,
+            }
+        tail = latency_percentiles(latencies, empty=float("nan"))
+        for name in ("p50", "p95", "p99"):
+            value = tail[name]
+            summary[f"latency_{name}_ms"] = (
+                value * 1e3 if np.isfinite(value) else None)
+        return summary
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, drain: bool = True, timeout: float = 120.0) -> None:
+        """Stop the fleet; by default finishes the admitted requests first."""
+        if drain and not self._closing.is_set():
+            try:
+                self.drain(timeout)
+            except ServingError:
+                pass  # fail the stragglers below rather than hang
+        self._closing.set()
+        with self._lock:
+            # parked orphans are still tracked in _pending, so _pending
+            # alone is the full set — no entry may be failed twice
+            stranded = list(self._pending.values())
+            self._pending.clear()
+            self._orphans.clear()
+            for entry in stranded:
+                self.failed += 1
+                entry.future._fail(ServingError(
+                    "fleet closed before the request completed"))
+            self.pool.stop_all()
+        for thread in (self._collector, self._monitor):
+            if thread.is_alive() and thread is not threading.current_thread():
+                thread.join(timeout=5.0)
+        if self.owns_artifact:
+            self.pool.artifact.unlink(missing_ok=True)
+            self.owns_artifact = False
+
+    def __enter__(self) -> "ServingFleet":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"ServingFleet(replicas={self.pool.size}, "
+                f"router={getattr(self.router, 'name', '?')!r}, "
+                f"batch_mode={self.batch_mode!r}, "
+                f"pending={len(self._pending)})")
+
+
+# ----------------------------------------------------------------------
+# Replay helper (CLI + benchmark)
+# ----------------------------------------------------------------------
+def replay_fleet(fleet: ServingFleet, requests: list[IncrementalBatch], *,
+                 keys: list[str] | None = None,
+                 timeout: float = 120.0) -> list[np.ndarray | None]:
+    """Submit ``requests`` closed-loop and wait for every result.
+
+    Returns per-request logits (``None`` for requests the fleet failed),
+    in submission order — the fleet analogue of
+    :func:`repro.serving.workload.replay`.
+    """
+    if keys is not None and len(keys) != len(requests):
+        raise ServingError(
+            f"{len(keys)} routing keys for {len(requests)} requests")
+    futures = [fleet.submit_batch(request,
+                                  key=None if keys is None else keys[i])
+               for i, request in enumerate(requests)]
+    results: list[np.ndarray | None] = []
+    for future in futures:
+        try:
+            results.append(future.result(timeout=timeout))
+        except ServingError:
+            if not future.done():
+                raise  # a genuine timeout, not a per-request failure
+            results.append(None)
+    return results

@@ -640,8 +640,8 @@ class PreparedDeployment:
         run_ends = np.concatenate([existing, [old_base]])
         for start_row, end_row in zip(run_starts, run_ends):
             if start_row < end_row:
-                data[indptr[start_row]:indptr[end_row]] = \
-                    old.data[old.indptr[start_row]:old.indptr[end_row]]
+                data[indptr[start_row]:indptr[end_row]] = (
+                    old.data[old.indptr[start_row]:old.indptr[end_row]])
         if affected.size:
             pos = csr_row_positions(indptr, affected)
             counts = (indptr[affected + 1] - indptr[affected]).astype(np.int64)

@@ -390,29 +390,45 @@ class ServingRuntime:
             batch.append(nxt)
         return batch
 
-    def _align_request_widths(self, requests: list[Request]) -> None:
+    def _align_request_widths(self, requests: list[Request]) -> list[Request]:
         """Bring every request in the batch to the current base width.
 
         Caller holds ``_serve_lock``.  Requests admitted before an append
         landed are widened with zero columns; a request admitted *ahead*
         of a still-pending ingested delta forces that delta to apply
-        first (its ids only exist in the promised width).
+        first (its ids only exist in the promised width).  A request
+        whose promised width never materialized — its delta failed to
+        apply — is failed *individually* here, so it cannot poison the
+        co-batched requests with a merge-shape error; the survivors are
+        returned.
         """
         width = self._original_columns
         if any(r.incremental.shape[1] > width for r in requests):
             self._apply_pending_deltas()
             width = self._original_columns
+        kept = []
         for request in requests:
             inc = request.incremental
+            if inc.shape[1] > width:
+                request.future._fail(ServingError(
+                    f"request cites base width {inc.shape[1]}, promised by "
+                    f"an ingested delta that failed to apply (current "
+                    f"width {width})"))
+                self.accounting.observe_failure(1)
+                continue
             if inc.shape[1] < width:
                 request.incremental = sp.csr_matrix(
                     (inc.data, inc.indices, inc.indptr),
                     shape=(inc.shape[0], width))
+            kept.append(request)
+        return kept
 
     def _execute(self, requests: list[Request]) -> None:
         started = time.perf_counter()
         try:
-            self._align_request_widths(requests)
+            requests = self._align_request_widths(requests)
+            if not requests:
+                return
             merged = merge_requests(requests)
             if self.precision == "frozen":
                 logits, compute_seconds, _ = self.prepared.serve_batch_frozen(

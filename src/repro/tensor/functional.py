@@ -105,14 +105,16 @@ def nll_loss(log_probs: Tensor, labels: np.ndarray) -> Tensor:
     return neg(tensor_mean(tensor_sum(mul(targets, log_probs), axis=1)))
 
 
-def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+def binary_cross_entropy_with_logits(
+        logits: Tensor, targets: np.ndarray | Tensor) -> Tensor:
     """Mean binary cross-entropy on raw logits (numerically stable).
 
     Uses the identity
     ``bce(x, t) = max(x, 0) - x*t + log(1 + exp(-|x|))``.
     """
     logits = as_tensor(logits)
-    t = as_tensor(targets) if isinstance(targets, Tensor) else Tensor(np.asarray(targets, dtype=np.float64))
+    t = (as_tensor(targets) if isinstance(targets, Tensor)
+         else Tensor(np.asarray(targets, dtype=np.float64)))
     if t.shape != logits.shape:
         raise ShapeError(f"targets shape {t.shape} != logits shape {logits.shape}")
     positive_part = maximum_const(logits, 0.0)

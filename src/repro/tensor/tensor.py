@@ -119,9 +119,11 @@ class Tensor:
         Optional human-readable label used in error messages.
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "name", "_inputs", "_backward", "_op_name")
+    __slots__ = ("data", "requires_grad", "grad", "name", "_inputs",
+                 "_backward", "_op_name")
 
-    def __init__(self, data, requires_grad: bool = False, name: str | None = None) -> None:
+    def __init__(self, data, requires_grad: bool = False,
+                 name: str | None = None) -> None:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)

@@ -11,19 +11,46 @@ raw I/O failures numpy surfaces — a missing parent directory, a
 permission error, a truncated or non-zip file — into
 :class:`~repro.errors.ArtifactError`, so every artifact path problem
 reaches the CLI as a clean ``exit 2`` message instead of a traceback.
+The translation covers the *whole* read, not just the ``np.load`` call:
+``.npz`` members decompress lazily, so a truncated archive often opens
+fine and only fails when an array is pulled out mid-``with``.
+
+Zero-copy loading
+-----------------
+``open_npz_archive(path, mmap=True)`` yields a :class:`MappedNpzArchive`
+instead of an eagerly-read ``NpzFile``: the file is memory-mapped once,
+read-only, and every *stored* (uncompressed) ``.npy`` member becomes a
+buffer-backed array over the shared mapping — no decompression, no copy,
+and N processes opening the same artifact share one page-cache copy of
+the bytes.  Deflated members (the ``np.savez_compressed`` layout) fall
+back to an eager per-member read, so ``mmap=True`` is always safe to
+request.  Write ``save_npz(path, payload, compressed=False)`` (the
+``layout="mmap"`` bundle option) to produce fully mappable artifacts.
 """
 
 from __future__ import annotations
 
+import io
+import mmap as _mmap
+import struct
 import zipfile
+import zlib
 from contextlib import contextmanager
 from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ArtifactError
+from repro.errors import ArtifactError, ReproError
 
-__all__ = ["normalize_npz_path", "save_npz", "open_npz_archive"]
+__all__ = ["normalize_npz_path", "save_npz", "open_npz_archive",
+           "MappedNpzArchive"]
+
+#: Exceptions that signal a corrupt / truncated / unreadable artifact when
+#: raised while an archive is being read.  ``zlib.error`` and ``EOFError``
+#: come out of lazy member decompression; ``struct.error`` out of zip
+#: header parsing; ``ValueError`` out of numpy's format checks.
+_READ_ERRORS = (OSError, ValueError, zipfile.BadZipFile, zlib.error,
+                EOFError, struct.error)
 
 
 def normalize_npz_path(path: str | Path) -> Path:
@@ -39,38 +66,165 @@ def normalize_npz_path(path: str | Path) -> Path:
     return path
 
 
-def save_npz(path: str | Path, payload: dict) -> Path:
-    """Write ``payload`` as a compressed ``.npz``; returns the real path.
+def save_npz(path: str | Path, payload: dict, *,
+             compressed: bool = True) -> Path:
+    """Write ``payload`` as an ``.npz``; returns the real path.
 
-    Unwritable targets (missing parent directory, permissions, full disk)
-    raise :class:`ArtifactError` with the offending path in the message.
+    ``compressed=True`` (default) deflates every member — the smallest
+    artifact.  ``compressed=False`` stores members raw, which is what
+    makes :class:`MappedNpzArchive` zero-copy: stored members can be
+    memory-mapped in place.  Unwritable targets (missing parent
+    directory, permissions, full disk) raise :class:`ArtifactError` with
+    the offending path in the message.
     """
     target = normalize_npz_path(path)
+    writer = np.savez_compressed if compressed else np.savez
     try:
-        np.savez_compressed(target, **payload)
+        writer(target, **payload)
     except OSError as exc:
         raise ArtifactError(
             f"cannot write artifact {target}: {exc}") from exc
     return target
 
 
+class MappedNpzArchive:
+    """A read-only, memory-mapped view of an ``.npz`` archive.
+
+    Mirrors the slice of the ``NpzFile`` interface the artifact readers
+    use — ``.files``, ``archive[name]``, ``close()`` — so it can stand in
+    for ``np.load``'s return value.  Stored (uncompressed) members are
+    returned as non-writable arrays backed by one shared ``mmap`` of the
+    file; deflated members are read eagerly as a fallback.
+
+    The arrays keep the mapping alive (they hold buffer references), so
+    they remain valid after :meth:`close`.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle = open(self.path, "rb")
+        try:
+            self._buffer = _mmap.mmap(self._handle.fileno(), 0,
+                                      access=_mmap.ACCESS_READ)
+            self._zip = zipfile.ZipFile(self._handle)
+            self._members = {
+                info.filename[:-len(".npy")]
+                if info.filename.endswith(".npy") else info.filename: info
+                for info in self._zip.infolist()}
+        except Exception:
+            self.close()
+            raise
+        self.files = list(self._members)
+        self._cache: dict[str, np.ndarray] = {}
+        #: Member names served zero-copy from the mapping (diagnostics).
+        self.mapped: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._members:
+            raise KeyError(f"{name} is not a file in the archive")
+        if name not in self._cache:
+            info = self._members[name]
+            if info.compress_type == zipfile.ZIP_STORED:
+                self._cache[name] = self._mapped_member(info)
+                self.mapped.add(name)
+            else:
+                with self._zip.open(info) as member:
+                    self._cache[name] = np.lib.format.read_array(
+                        member, allow_pickle=False)
+        return self._cache[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def _mapped_member(self, info: zipfile.ZipInfo) -> np.ndarray:
+        """A non-writable array over the member's bytes in the mapping.
+
+        The central directory's ``header_offset`` points at the member's
+        *local* file header, whose name/extra fields may differ in length
+        from the central ones — the data offset must be derived from the
+        local header itself.
+        """
+        header = self._buffer[info.header_offset:info.header_offset + 30]
+        if len(header) < 30 or header[:4] != b"PK\x03\x04":
+            raise ArtifactError(
+                f"{self.path} member {info.filename!r} has a corrupt "
+                "local zip header")
+        name_len, extra_len = struct.unpack("<HH", header[26:30])
+        start = info.header_offset + 30 + name_len + extra_len
+        member = memoryview(self._buffer)[start:start + info.file_size]
+        # The npy header is tiny; copy just its prefix to parse it, then
+        # point the array at the mapped payload bytes.
+        prefix = io.BytesIO(member[:min(len(member), 66000)].tobytes())
+        version = np.lib.format.read_magic(prefix)
+        read_header = {
+            (1, 0): np.lib.format.read_array_header_1_0,
+            (2, 0): np.lib.format.read_array_header_2_0,
+        }.get(version, np.lib.format.read_array_header_2_0)
+        shape, fortran, dtype = read_header(prefix)
+        if dtype.hasobject:
+            raise ArtifactError(
+                f"{self.path} member {info.filename!r} holds Python "
+                "objects and cannot be memory-mapped")
+        offset = prefix.tell()
+        count = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        data = np.frombuffer(member, dtype=dtype, count=count, offset=offset)
+        return data.reshape(shape, order="F" if fortran else "C")
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for attr in ("_zip", "_handle"):
+            handle = getattr(self, attr, None)
+            if handle is not None:
+                handle.close()
+        # the mmap itself stays open while served arrays reference it;
+        # dropping our handle lets it collapse once they are gone
+        if getattr(self, "_buffer", None) is not None:
+            self._buffer = None
+
+    def __enter__(self) -> "MappedNpzArchive":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"MappedNpzArchive({str(self.path)!r}, "
+                f"members={len(self.files)}, mapped={len(self.mapped)})")
+
+
 @contextmanager
-def open_npz_archive(path: str | Path, kind: str = "artifact"):
-    """Open an ``.npz`` for reading, yielding the ``NpzFile``.
+def open_npz_archive(path: str | Path, kind: str = "artifact", *,
+                     mmap: bool = False):
+    """Open an ``.npz`` for reading, yielding the archive object.
 
     Missing files raise ``ArtifactError(f"no {kind} at ...")``; unreadable
     or corrupt files (permissions, truncation, not a zip archive) raise
-    :class:`ArtifactError` naming the path and the underlying failure.
+    :class:`ArtifactError` naming the path and the underlying failure —
+    including corruption that only surfaces *inside* the ``with`` block,
+    when a lazily-decompressed member is actually read.  Library errors
+    (``ReproError``) raised by the block pass through untouched.
+
+    ``mmap=True`` yields a :class:`MappedNpzArchive` — zero-copy for
+    stored members, eager fallback for deflated ones.
     """
     target = normalize_npz_path(path)
     if not target.exists():
         raise ArtifactError(f"no {kind} at {target}")
     try:
-        archive = np.load(target)
-    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        archive = MappedNpzArchive(target) if mmap else np.load(target)
+    except _READ_ERRORS as exc:
         raise ArtifactError(
             f"cannot read {kind} {target}: {exc}") from exc
     try:
         yield archive
+    except ReproError:
+        raise
+    except _READ_ERRORS as exc:
+        # lazy member reads fail *inside* the block (truncation, bad CRC);
+        # the message repeats the cause rather than asserting corruption,
+        # since the block's parsing code shares these exception types
+        raise ArtifactError(
+            f"cannot read {kind} {target}: {exc}") from exc
     finally:
         archive.close()

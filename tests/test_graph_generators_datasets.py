@@ -47,8 +47,8 @@ class TestSbmGenerator:
     def test_homophily_ordering(self):
         high = generate_sbm_graph(small_config(homophily=0.9), seed=0)
         low = generate_sbm_graph(small_config(homophily=0.2), seed=0)
-        assert edge_homophily(high.adjacency, high.labels) > \
-            edge_homophily(low.adjacency, low.labels)
+        assert (edge_homophily(high.adjacency, high.labels)
+                > edge_homophily(low.adjacency, low.labels))
 
     def test_no_self_loops_and_symmetric(self):
         graph = generate_sbm_graph(small_config(), seed=3)

@@ -289,8 +289,8 @@ class TestBundlePersistence:
         assert set(reloaded.state) == set(mcond_bundle.state)
         for name, value in mcond_bundle.state.items():
             assert np.array_equal(reloaded.state[name], value)
-        assert reloaded.condensed.mapping.nnz == \
-            mcond_bundle.condensed.mapping.nnz
+        assert (reloaded.condensed.mapping.nnz
+                == mcond_bundle.condensed.mapping.nnz)
 
     def test_whole_bundle_roundtrip(self, tmp_path):
         bundle = api.deploy("tiny-sim", method="whole", seed=1, profile=FAST)

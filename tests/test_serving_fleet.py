@@ -1,0 +1,535 @@
+"""Fleet serving: routers, zero-copy mmap artifacts, failover, hot swap."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import api
+from repro.api import DeploymentBundle
+from repro.cli import main
+from repro.errors import ArtifactError, GraphError, RegistryError, ServingError
+from repro.registry import ROUTERS, make_router
+from repro.serving import ServingFleet, replay_fleet, split_requests
+from repro.serving.fleet import (
+    ConsistentHashRouter,
+    LeastLoadedRouter,
+    RoundRobinRouter,
+    Router,
+)
+from repro.serving.fleet_bench import (
+    check_fleet_benchmark_schema,
+    gate_fleet_benchmark,
+    run_fleet_benchmark,
+)
+from repro.serving.prepared import PreparedDeployment
+from repro.utils.artifacts import open_npz_archive, save_npz
+
+
+# ----------------------------------------------------------------------
+# Shared artifacts (session-cached: deploys and process spawns are slow)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def fleet_bundles(tmp_path_factory):
+    """Deployed tiny-sim bundles + mmap-layout artifacts, per deployment."""
+    root = tmp_path_factory.mktemp("fleet-artifacts")
+    out = {}
+    for deployment in ("synthetic", "original"):
+        bundle = api.deploy("tiny-sim", "mcond", 9, profile="quick",
+                            deployment=deployment)
+        path = bundle.save(root / f"{deployment}.npz", layout="mmap")
+        out[deployment] = (bundle, path)
+    return out
+
+
+@pytest.fixture(scope="session")
+def prepared_pairs(fleet_bundles):
+    """(eager, mmap, evaluation batch) per deployment kind."""
+    pairs = {}
+    for deployment, (bundle, path) in fleet_bundles.items():
+        pairs[deployment] = (
+            PreparedDeployment.from_bundle(DeploymentBundle.load(path)),
+            PreparedDeployment.from_bundle(
+                DeploymentBundle.load(path, mmap=True)),
+            api.evaluation_batch(bundle))
+    return pairs
+
+
+@pytest.fixture(scope="session")
+def synthetic_artifact(fleet_bundles):
+    return fleet_bundles["synthetic"][1]
+
+
+@pytest.fixture(scope="session")
+def synthetic_requests(fleet_bundles):
+    bundle, _ = fleet_bundles["synthetic"]
+    return split_requests(api.evaluation_batch(bundle), 16, 2)
+
+
+# ----------------------------------------------------------------------
+# Routing policies
+# ----------------------------------------------------------------------
+class TestRouters:
+    def test_round_robin_cycles_evenly(self):
+        router = RoundRobinRouter()
+        picks = [router.select(None, [0, 1, 2], {}) for _ in range(9)]
+        assert picks == [0, 1, 2] * 3
+
+    def test_round_robin_adapts_to_candidate_changes(self):
+        router = RoundRobinRouter()
+        router.select(None, [0, 1], {})
+        assert router.select(None, [1], {}) == 1
+
+    def test_least_loaded_picks_minimum(self):
+        router = LeastLoadedRouter()
+        assert router.select(None, [0, 1, 2], {0: 4, 1: 1, 2: 3}) == 1
+
+    def test_least_loaded_breaks_ties_by_id(self):
+        router = LeastLoadedRouter()
+        assert router.select(None, [2, 0, 1], {0: 1, 1: 1, 2: 1}) == 0
+
+    def test_consistent_hash_is_sticky(self):
+        router = ConsistentHashRouter()
+        picks = {router.select("user-7", [0, 1, 2], {}) for _ in range(10)}
+        assert len(picks) == 1
+
+    def test_consistent_hash_is_deterministic_across_instances(self):
+        first = ConsistentHashRouter()
+        second = ConsistentHashRouter()
+        for key in ("a", "b", "user-42"):
+            assert (first.select(key, [0, 1, 2], {})
+                    == second.select(key, [0, 1, 2], {}))
+
+    def test_consistent_hash_only_remaps_lost_arcs(self):
+        router = ConsistentHashRouter()
+        keys = [f"key-{i}" for i in range(64)]
+        before = {key: router.select(key, [0, 1, 2], {}) for key in keys}
+        after = {key: router.select(key, [0, 2], {}) for key in keys}
+        for key in keys:
+            if before[key] != 1:  # survivors keep their keys
+                assert after[key] == before[key]
+            else:
+                assert after[key] in (0, 2)
+
+    def test_consistent_hash_keyless_falls_back_round_robin(self):
+        router = ConsistentHashRouter()
+        picks = [router.select(None, [0, 1], {}) for _ in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_registry_exposes_policies(self):
+        for name in ("round-robin", "least-loaded", "consistent-hash"):
+            assert name in ROUTERS
+            assert make_router(name) is not None
+        with pytest.raises(RegistryError):
+            make_router("no-such-policy")
+
+
+# ----------------------------------------------------------------------
+# Zero-copy artifact loading
+# ----------------------------------------------------------------------
+class TestMappedArchive:
+    def test_mmap_round_trip_bitwise(self, tmp_path):
+        payload = {
+            "floats": np.arange(24, dtype=np.float64).reshape(4, 6),
+            "ints": np.array([3, 1, 2], dtype=np.int64),
+            "scalar": np.asarray(7),
+            "text": np.asarray("hello artifact"),
+            "empty": np.zeros((0, 3)),
+        }
+        path = save_npz(tmp_path / "raw.npz", payload, compressed=False)
+        with open_npz_archive(path, mmap=True) as archive:
+            assert sorted(archive.files) == sorted(payload)
+            for name, want in payload.items():
+                got = archive[name]
+                assert np.array_equal(got, want)
+                assert got.dtype == want.dtype
+                assert not got.flags.writeable
+            assert archive.mapped == set(payload)
+
+    def test_compressed_members_fall_back_to_eager(self, tmp_path):
+        payload = {"x": np.arange(10, dtype=np.float64)}
+        path = save_npz(tmp_path / "deflated.npz", payload, compressed=True)
+        with open_npz_archive(path, mmap=True) as archive:
+            assert np.array_equal(archive["x"], payload["x"])
+            assert archive.mapped == set()
+
+    def test_mmap_arrays_survive_close(self, tmp_path):
+        path = save_npz(tmp_path / "raw.npz",
+                        {"x": np.arange(8.0)}, compressed=False)
+        with open_npz_archive(path, mmap=True) as archive:
+            view = archive["x"]
+        assert view.sum() == 28.0
+
+    def test_truncated_archive_raises_artifact_error(self, tmp_path):
+        path = save_npz(tmp_path / "raw.npz",
+                        {"x": np.arange(64.0)}, compressed=False)
+        path.write_bytes(path.read_bytes()[:80])
+        for mmap_flag in (False, True):
+            with pytest.raises(ArtifactError):
+                with open_npz_archive(path, mmap=mmap_flag):
+                    pass
+
+    def test_mid_read_corruption_raises_artifact_error(self, tmp_path):
+        path = save_npz(tmp_path / "big.npz",
+                        {f"arr{i}": np.random.default_rng(i).normal(size=256)
+                         for i in range(4)})
+        data = bytearray(path.read_bytes())
+        mid = len(data) // 3
+        data[mid:mid + 32] = b"\x00" * 32  # member payload, central dir intact
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="cannot read"):
+            with open_npz_archive(path) as archive:
+                for name in archive.files:
+                    archive[name]
+
+    def test_repro_errors_pass_through_untranslated(self, tmp_path):
+        path = save_npz(tmp_path / "ok.npz", {"x": np.arange(4.0)})
+        with pytest.raises(GraphError):
+            with open_npz_archive(path):
+                raise GraphError("domain failure, not a read failure")
+
+
+class TestBundleMmapParity:
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_serve_batch_bitwise_identical(self, prepared_pairs, data):
+        """Property: mmap- and eager-loaded deployments serve identical
+        bits across graph/node batches, both deployment kinds, and any
+        request slice."""
+        deployment = data.draw(st.sampled_from(["synthetic", "original"]))
+        mode = data.draw(st.sampled_from(["graph", "node"]))
+        eager, mapped, batch = prepared_pairs[deployment]
+        size = data.draw(st.integers(min_value=1,
+                                     max_value=min(8, batch.num_nodes)))
+        start = data.draw(st.integers(min_value=0,
+                                      max_value=batch.num_nodes - size))
+        subset = batch.subset(np.arange(start, start + size))
+        left, _, _ = eager.serve_batch(subset, mode)
+        right, _, _ = mapped.serve_batch(subset, mode)
+        assert left.dtype == right.dtype
+        assert np.array_equal(left, right)
+
+    def test_warm_base_and_frozen_paths_match(self, prepared_pairs):
+        eager, mapped, batch = prepared_pairs["original"]
+        assert np.array_equal(eager.warm_base(), mapped.warm_base())
+        subset = batch.subset(np.arange(4))
+        left, _, _ = eager.serve_batch_frozen(subset, "node")
+        right, _, _ = mapped.serve_batch_frozen(subset, "node")
+        assert np.array_equal(left, right)
+
+    def test_mmap_features_are_readonly_views(self, fleet_bundles):
+        _, path = fleet_bundles["original"]
+        prepared = PreparedDeployment.from_bundle(
+            DeploymentBundle.load(path, mmap=True))
+        assert not prepared.base_features.flags.writeable
+
+
+# ----------------------------------------------------------------------
+# The fleet itself
+# ----------------------------------------------------------------------
+class TestServingFleet:
+    def test_fleet_matches_prepared_bitwise(self, synthetic_artifact,
+                                            synthetic_requests):
+        prepared = PreparedDeployment.from_bundle(
+            DeploymentBundle.load(synthetic_artifact))
+        expected = [prepared.serve_batch(r, "node")[0]
+                    for r in synthetic_requests]
+        with ServingFleet(synthetic_artifact, 2,
+                          batch_mode="node") as fleet:
+            results = replay_fleet(fleet, synthetic_requests)
+        for got, want in zip(results, expected):
+            assert got is not None
+            assert np.array_equal(got, want)
+
+    def test_failover_loses_no_request(self, synthetic_artifact,
+                                       synthetic_requests):
+        with ServingFleet(synthetic_artifact, 2,
+                          batch_mode="node") as fleet:
+            futures = [fleet.submit_batch(r) for r in synthetic_requests]
+            fleet.kill_replica(0)
+            futures += [fleet.submit_batch(r) for r in synthetic_requests]
+            results = [f.result(timeout=120.0) for f in futures]
+            stats = fleet.stats()
+        assert all(r is not None for r in results)
+        assert stats["failed"] == 0
+        assert stats["completed"] == 2 * len(synthetic_requests)
+        assert stats["respawns"] >= 1
+
+    def test_hot_swap_rolls_to_new_artifact(self, synthetic_artifact,
+                                            synthetic_requests, tmp_path):
+        swapped = api.deploy("tiny-sim", "mcond", 6, profile="quick")
+        swapped_path = swapped.save(tmp_path / "swap.npz", layout="mmap")
+        want = PreparedDeployment.from_bundle(
+            DeploymentBundle.load(swapped_path)).serve_batch(
+                synthetic_requests[0], "node")[0]
+        with ServingFleet(synthetic_artifact, 2,
+                          batch_mode="node") as fleet:
+            futures = [fleet.submit_batch(r) for r in synthetic_requests]
+            fleet.swap(swapped_path)
+            assert all(f.result(timeout=120.0) is not None for f in futures)
+            got = fleet.submit_batch(
+                synthetic_requests[0]).result(timeout=120.0)
+            stats = fleet.stats()
+        assert np.array_equal(got, want)
+        assert stats["failed"] == 0
+        assert all(r["generation"] >= 1
+                   for r in stats["per_replica"].values())
+
+    def test_consistent_hash_affinity_in_fleet(self, synthetic_artifact,
+                                               synthetic_requests):
+        with ServingFleet(synthetic_artifact, 2, router="consistent-hash",
+                          batch_mode="node") as fleet:
+            replay_fleet(fleet, synthetic_requests[:8],
+                         keys=["sticky"] * 8)
+            served = [r["served"]
+                      for r in fleet.stats()["per_replica"].values()]
+        assert sorted(served) == [0, 8]
+
+    def test_submit_after_close_raises(self, synthetic_artifact,
+                                       synthetic_requests):
+        fleet = ServingFleet(synthetic_artifact, 1, batch_mode="node")
+        fleet.close()
+        with pytest.raises(ServingError):
+            fleet.submit_batch(synthetic_requests[0])
+
+    def test_open_fleet_from_bundle_owns_temp_artifact(self, fleet_bundles,
+                                                       synthetic_requests):
+        bundle, _ = fleet_bundles["synthetic"]
+        fleet = api.open_fleet(bundle, replicas=1, batch_mode="node")
+        artifact = fleet.pool.artifact
+        try:
+            assert artifact.exists()
+            assert fleet.owns_artifact
+            result = fleet.submit_batch(
+                synthetic_requests[0]).result(timeout=120.0)
+            assert result is not None
+        finally:
+            fleet.close()
+        assert not artifact.exists()
+
+    def test_invalid_configuration_rejected(self, synthetic_artifact):
+        with pytest.raises(ServingError):
+            ServingFleet(synthetic_artifact, 0)
+        with pytest.raises(ServingError):
+            ServingFleet(synthetic_artifact, 1, batch_mode="banana")
+
+    def test_misbehaving_router_fails_request_not_fleet(
+            self, synthetic_artifact, synthetic_requests):
+        class RogueRouter(Router):
+            name = "rogue"
+
+            def select(self, key, candidates, loads):
+                return 999  # never a valid candidate
+
+        with ServingFleet(synthetic_artifact, 1, router=RogueRouter(),
+                          batch_mode="node") as fleet:
+            future = fleet.submit_batch(synthetic_requests[0])
+            with pytest.raises(ServingError, match="picked replica"):
+                future.result(timeout=30.0)
+            stats = fleet.stats()
+            # the dispatching thread survived: accounting is intact and
+            # the health monitor is still running
+            assert stats["failed"] == 1
+            assert stats["pending"] == 0
+            assert fleet._monitor.is_alive()
+
+    def test_parked_request_fails_once_on_close(self, synthetic_artifact,
+                                                synthetic_requests):
+        fleet = ServingFleet(synthetic_artifact, 1, batch_mode="node")
+        try:
+            with fleet._lock:
+                # no ready candidate: the submit below parks as an orphan
+                fleet.pool.replicas[0].state = "draining"
+            future = fleet.submit_batch(synthetic_requests[0])
+            assert not future.done()
+        finally:
+            fleet.close(drain=False)
+        with pytest.raises(ServingError):
+            future.result(timeout=1.0)
+        stats = fleet.stats()
+        assert stats["failed"] == 1  # not double-counted via the orphan deque
+        assert stats["pending"] == 0
+
+    def test_open_fleet_cleans_temp_artifact_on_failure(self, fleet_bundles):
+        import tempfile
+        from pathlib import Path
+
+        bundle, _ = fleet_bundles["synthetic"]
+        tmp = Path(tempfile.gettempdir())
+        before = set(tmp.glob("repro-fleet-*.npz"))
+        with pytest.raises(RegistryError):
+            api.open_fleet(bundle, replicas=1, router="no-such-policy")
+        assert set(tmp.glob("repro-fleet-*.npz")) == before
+
+
+# ----------------------------------------------------------------------
+# Fleet benchmark: schema, gate, end-to-end
+# ----------------------------------------------------------------------
+def _fake_result(**overrides) -> dict:
+    result = {
+        "schema_version": 1,
+        "kind": "fleet-benchmark",
+        "dataset": "tiny-sim",
+        "method": "mcond",
+        "budget": 9,
+        "seed": 0,
+        "scale": 1.0,
+        "deployment": "original",
+        "batch_mode": "node",
+        "router": "round-robin",
+        "num_requests": 8,
+        "nodes_per_request": 2,
+        "usable_cores": 4,
+        "artifact": {"layout": "mmap", "bytes": 1000},
+        "cold_start": {"eager_ms": 4.0, "mmap_ms": 2.0, "speedup": 2.0,
+                       "repeats": 3},
+        "throughput": {
+            "1": {"replicas": 1, "requests": 8, "served": 8, "wall_s": 0.1,
+                  "requests_per_s": 80.0, "latency_p50_ms": 1.0,
+                  "latency_p95_ms": 2.0},
+            "2": {"replicas": 2, "requests": 8, "served": 8, "wall_s": 0.05,
+                  "requests_per_s": 160.0, "latency_p50_ms": 1.0,
+                  "latency_p95_ms": 2.0},
+        },
+        "scaling": {"speedup_2x": 2.0, "mode": "parallel"},
+        "failover": {"replicas": 2, "killed_after": 4, "requests": 8,
+                     "requests_lost": 0, "rerouted": 2, "respawns": 1,
+                     "latency_p95_ms": 3.0},
+        "parity": {"mmap_bitwise_equal": True},
+    }
+    result.update(overrides)
+    return result
+
+
+class TestFleetBenchContract:
+    def test_schema_accepts_complete_result(self):
+        check_fleet_benchmark_schema(_fake_result())
+
+    def test_schema_rejects_missing_sections(self):
+        for key in ("cold_start", "throughput", "failover", "parity"):
+            broken = _fake_result()
+            del broken[key]
+            with pytest.raises(ServingError):
+                check_fleet_benchmark_schema(broken)
+
+    def test_schema_rejects_wrong_kind(self):
+        with pytest.raises(ServingError):
+            check_fleet_benchmark_schema(_fake_result(kind="nope"))
+
+    def test_gate_passes_clean_result(self):
+        assert gate_fleet_benchmark(_fake_result()) == []
+
+    def test_gate_fails_slow_cold_start(self):
+        result = _fake_result(cold_start={"eager_ms": 2.0, "mmap_ms": 4.0,
+                                          "speedup": 0.5, "repeats": 3})
+        assert any("cold start" in f for f in gate_fleet_benchmark(result))
+
+    def test_gate_fails_lost_requests(self):
+        result = _fake_result()
+        result["failover"]["requests_lost"] = 1
+        assert any("lost" in f for f in gate_fleet_benchmark(result))
+
+    def test_gate_fails_broken_parity(self):
+        result = _fake_result(parity={"mmap_bitwise_equal": False})
+        assert any("bitwise" in f for f in gate_fleet_benchmark(result))
+
+    def test_gate_requires_strict_scaling_on_multicore(self):
+        result = _fake_result()
+        result["throughput"]["2"]["requests_per_s"] = 70.0
+        assert any("do not beat" in f for f in gate_fleet_benchmark(result))
+
+    def test_gate_tolerates_bounded_overhead_on_single_core(self):
+        result = _fake_result(usable_cores=1)
+        result["throughput"]["2"]["requests_per_s"] = 75.0  # within 85%
+        assert gate_fleet_benchmark(result) == []
+        result["throughput"]["2"]["requests_per_s"] = 40.0  # collapse
+        assert any("single-core" in f for f in gate_fleet_benchmark(result))
+
+    def test_end_to_end_benchmark_validates(self, tmp_path):
+        result = run_fleet_benchmark(
+            "tiny-sim", budget=9, deployment="synthetic",
+            replica_counts=(1, 2), num_requests=8, nodes_per_request=2,
+            cold_start_repeats=2,
+            artifact_path=tmp_path / "bench-artifact.npz")
+        check_fleet_benchmark_schema(result)
+        assert result["failover"]["requests_lost"] == 0
+        assert result["parity"]["mmap_bitwise_equal"]
+        target = tmp_path / "BENCH_fleet.json"
+        target.write_text(json.dumps(result))
+        assert main(["bench-schema", str(target)]) == 0
+
+
+# ----------------------------------------------------------------------
+# CLI integration + corrupt-artifact regressions
+# ----------------------------------------------------------------------
+class TestFleetCli:
+    def test_serve_fleet_roundtrip(self, capsys, synthetic_artifact):
+        code = main(["serve-fleet", "--artifact", str(synthetic_artifact),
+                     "--replicas", "1", "--requests", "4",
+                     "--nodes-per-request", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "served 4/4" in out
+
+    def test_list_shows_routers(self, capsys):
+        main(["list"])
+        out = capsys.readouterr().out
+        for name in ("round-robin", "least-loaded", "consistent-hash"):
+            assert name in out
+
+    def test_bench_schema_validates_committed_artifacts(self, capsys):
+        from pathlib import Path
+        committed = sorted(str(p) for p in Path(".").glob("BENCH_*.json"))
+        if not committed:
+            pytest.skip("no committed benchmark artifacts in cwd")
+        assert main(["bench-schema", *committed]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bench_schema_rejects_unknown_kind(self, capsys, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"kind": "mystery"}))
+        assert main(["bench-schema", str(bad)]) == 2
+        assert "unknown benchmark kind" in capsys.readouterr().err
+
+    def test_bench_schema_missing_file_exits_cleanly(self, capsys, tmp_path):
+        assert main(["bench-schema", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCorruptArtifactRegression:
+    def test_serve_truncated_artifact_exits_2(self, capsys,
+                                              synthetic_artifact, tmp_path):
+        truncated = tmp_path / "truncated.npz"
+        truncated.write_bytes(synthetic_artifact.read_bytes()[:1500])
+        code = main(["serve", "--artifact", str(truncated),
+                     "--batch-mode", "node"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "truncated.npz" in err
+
+    def test_serve_mid_corrupt_artifact_exits_2(self, capsys, fleet_bundles,
+                                                tmp_path):
+        bundle, _ = fleet_bundles["synthetic"]
+        source = bundle.save(tmp_path / "ok.npz")  # compressed layout
+        data = bytearray(source.read_bytes())
+        mid = len(data) * 2 // 5
+        data[mid:mid + 48] = b"\x00" * 48
+        corrupt = tmp_path / "corrupt.npz"
+        corrupt.write_bytes(bytes(data))
+        code = main(["serve", "--artifact", str(corrupt),
+                     "--batch-mode", "node"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "corrupt" in err
+
+    def test_serve_online_corrupt_artifact_exits_2(self, capsys, tmp_path):
+        not_npz = tmp_path / "plain.npz"
+        not_npz.write_text("definitely not a zip archive")
+        code = main(["serve-online", "--artifact", str(not_npz),
+                     "--requests", "4"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -44,8 +44,8 @@ def _random_delta(stream: StreamingGraph, batch, cursor: int, rng,
     added = np.vstack(rows)
     lo = np.minimum(added[:, 0], added[:, 1])
     hi = np.maximum(added[:, 0], added[:, 1])
-    keys = np.minimum(remove[:, 0], remove[:, 1]) * (n + 2) + \
-        np.maximum(remove[:, 0], remove[:, 1])
+    keys = (np.minimum(remove[:, 0], remove[:, 1]) * (n + 2)
+            + np.maximum(remove[:, 0], remove[:, 1]))
     keep = ~np.isin(lo * (n + 2) + hi, keys)
     update_index = np.sort(rng.choice(n, size=3, replace=False))
     return GraphDelta(
@@ -335,6 +335,32 @@ class TestRuntimeIngest:
         batch = tiny_split.incremental_batch("test")
         ok = runtime.submit_batch(batch.subset(np.array([0])))
         runtime.run_pending()
+        assert ok.result(timeout=5.0).shape[0] == 1
+
+    def test_failed_promised_width_fails_only_that_request(self, tiny_split,
+                                                           sgc):
+        """Regression: a request citing the width promised by a delta that
+        then fails to apply must fail alone — not poison the whole
+        micro-batch with a merge-shape error."""
+        n = tiny_split.original.num_nodes
+        prepared = PreparedDeployment(sgc, "original", tiny_split.original)
+        runtime = ServingRuntime(prepared, "sizecap", batch_mode="node",
+                                 scheduler_options={"max_batch_size": 2})
+        batch = tiny_split.incremental_batch("test")
+        adj = tiny_split.original.adjacency
+        assert adj[0, 1] == 0 or adj[0, 2] == 0  # the delta must fail
+        bad = GraphDelta(add_features=batch.features[:2],
+                         add_labels=batch.labels[:2],
+                         remove_edges=[[0, 1], [0, 2]])
+        delta_future = runtime.ingest(bad)
+        wide = sp.csr_matrix((np.ones(1), ([0], [n])), shape=(1, n + 2))
+        poisoned = runtime.submit(batch.features[2], wide)
+        ok = runtime.submit_batch(batch.subset(np.array([3])))
+        runtime.run_pending()
+        with pytest.raises(Exception):
+            delta_future.result(timeout=5.0)
+        with pytest.raises(ServingError, match="failed to apply"):
+            poisoned.result(timeout=5.0)
         assert ok.result(timeout=5.0).shape[0] == 1
 
     def test_open_stream_warms_caches(self):

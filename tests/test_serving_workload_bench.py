@@ -187,8 +187,8 @@ class TestServingBenchmark:
         # The acceptance bar for the prepared-deployment cache: strictly
         # less work per batch must show up as lower best-of mean latency.
         synthetic = bench_result["deployments"]["synthetic"]
-        assert synthetic["paths"]["cached"]["mean_ms"] < \
-            synthetic["paths"]["uncached"]["mean_ms"]
+        assert (synthetic["paths"]["cached"]["mean_ms"]
+                < synthetic["paths"]["uncached"]["mean_ms"])
         assert synthetic["speedup_cached_vs_uncached"] > 1.0
 
     def test_runtime_section_populated(self, bench_result):

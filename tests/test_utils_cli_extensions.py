@@ -218,8 +218,8 @@ class TestCli:
         code = main(["condense", "--dataset", "tiny-sim", "--method", "whole",
                      "--shards", "2"])
         assert code == 2
-        assert "--shards requires a reduction method" in \
-            capsys.readouterr().err
+        assert ("--shards requires a reduction method"
+                in capsys.readouterr().err)
 
     def test_condense_sharded_unknown_partitioner(self, capsys, monkeypatch):
         _fast_profile(monkeypatch)
