@@ -57,7 +57,8 @@ from repro.serving.runtime import ServingRuntime
 from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
 __all__ = ["condense", "deploy", "serve", "open_runtime", "open_stream",
-           "open_fleet", "evaluation_batch", "DeploymentBundle"]
+           "open_fleet", "open_gateway", "evaluation_batch",
+           "DeploymentBundle"]
 
 
 # ----------------------------------------------------------------------
@@ -516,6 +517,63 @@ def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
         raise
     fleet.owns_artifact = owns
     return fleet
+
+
+def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 router: str = "round-robin", batch_mode: str = "node",
+                 mmap: bool = True, start_method: str | None = None,
+                 shed_policy="watermark",
+                 max_inflight: int = 256,
+                 scale_policy=None,
+                 shed_options: dict | None = None,
+                 scale_options: dict | None = None,
+                 autoscale_interval: float = 0.25,
+                 scale_cooldown: float = 2.0, start: bool = True):
+    """Open a network :class:`~repro.serving.gateway.ServingGateway`.
+
+    Builds a fleet exactly like :func:`open_fleet` and puts the TCP
+    front door in front of it: framed-protocol serving
+    (:mod:`repro.serving.protocol`), watermark admission control
+    (``shed_policy``, a :data:`repro.registry.SHED_POLICIES` key or a
+    :class:`~repro.serving.gateway.ShedPolicy` instance), and — when
+    ``scale_policy`` names a :data:`repro.registry.SCALE_POLICIES`
+    entry such as ``"queue-depth"`` (or is a
+    :class:`~repro.serving.gateway.ScalePolicy`) — an autoscaler
+    that grows/shrinks
+    the replica pool from queue depth and rolling p95.  The gateway owns
+    the fleet: closing it closes the fleet (and removes a temp artifact
+    if ``bundle`` was in-memory).  With ``port=0`` the OS picks a free
+    port; read ``gateway.port`` after start.
+
+    >>> gw = api.open_gateway("artifact.npz", replicas=2,  # doctest: +SKIP
+    ...                       scale_policy="queue-depth")
+    >>> with gw:                                           # doctest: +SKIP
+    ...     client = GatewayClient(*gw.address)
+    ...     reply = client.serve(x, connections)
+    """
+    from repro.registry import make_scale_policy, make_shed_policy
+    from repro.serving.gateway import ServingGateway
+
+    shed = (make_shed_policy(shed_policy, **(shed_options or {}))
+            if isinstance(shed_policy, str) else shed_policy)
+    scale = (make_scale_policy(scale_policy, **(scale_options or {}))
+             if isinstance(scale_policy, str) else scale_policy)
+    fleet = open_fleet(bundle, replicas, router=router,
+                       batch_mode=batch_mode, mmap=mmap,
+                       start_method=start_method)
+    try:
+        gateway = ServingGateway(
+            fleet, host=host, port=port, shed_policy=shed,
+            max_inflight=max_inflight, scale_policy=scale,
+            autoscale_interval=autoscale_interval,
+            scale_cooldown=scale_cooldown, owns_fleet=True)
+        if start:
+            gateway.start()
+    except Exception:
+        fleet.close(drain=False)
+        raise
+    return gateway
 
 
 def evaluation_batch(bundle: DeploymentBundle) -> IncrementalBatch:

@@ -257,6 +257,104 @@ def build_parser() -> argparse.ArgumentParser:
                        help="failover drill: kill one replica mid-stream "
                             "and report re-routing stats")
 
+    gateway = sub.add_parser(
+        "serve-gateway",
+        help="serve a replica fleet over TCP: framed-protocol requests, "
+             "watermark load shedding, optional queue-driven autoscaling; "
+             "SIGTERM drains gracefully")
+    gateway.add_argument("--artifact", required=True,
+                         help="deployment bundle produced by 'repro "
+                              "condense --output' (use --layout mmap for "
+                              "zero-copy replica loading)")
+    gateway.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    gateway.add_argument("--port", type=int, default=0,
+                         help="TCP port; 0 picks a free one (default: 0)")
+    gateway.add_argument("--port-file", default=None,
+                         help="write the bound port to this file once "
+                              "listening (ephemeral-port discovery for "
+                              "scripts and CI)")
+    gateway.add_argument("--replicas", type=int, default=2,
+                         help="initial replica worker processes (default: 2)")
+    gateway.add_argument("--router", default="round-robin",
+                         help="routing policy registry key "
+                              "(default: round-robin)")
+    gateway.add_argument("--batch-mode", choices=("graph", "node"),
+                         default="node")
+    gateway.add_argument("--shed-policy", default="watermark",
+                         help="admission/shed policy registry key, or "
+                              "'none' (default: watermark)")
+    gateway.add_argument("--max-inflight", type=int, default=256,
+                         help="hard cap on admitted-but-unanswered "
+                              "requests (default: 256)")
+    gateway.add_argument("--scale-policy", default="none",
+                         help="autoscaling policy registry key, e.g. "
+                              "queue-depth, or 'none' (default: none)")
+    gateway.add_argument("--min-replicas", type=int, default=1,
+                         help="autoscaler lower bound (default: 1)")
+    gateway.add_argument("--max-replicas", type=int, default=4,
+                         help="autoscaler upper bound (default: 4)")
+    gateway.add_argument("--autoscale-interval", type=float, default=0.25,
+                         help="autoscaler sampling period in seconds "
+                              "(default: 0.25)")
+    gateway.add_argument("--scale-cooldown", type=float, default=2.0,
+                         help="minimum seconds between scaling actions "
+                              "(default: 2.0)")
+    gateway.add_argument("--no-mmap", dest="mmap", action="store_false",
+                         help="load the artifact eagerly in every replica "
+                              "instead of memory-mapping it")
+
+    bench_gateway = sub.add_parser(
+        "bench-gateway",
+        help="run the network-gateway benchmark (socket vs in-process "
+             "throughput, shed accounting, autoscale reaction, parity) "
+             "and write BENCH_gateway.json")
+    _add_common(bench_gateway)
+    bench_gateway.add_argument("--method", default="mcond",
+                               help="reduction method registry key "
+                                    "(default: mcond)")
+    bench_gateway.add_argument("--budget", type=int, default=None,
+                               help="synthetic node budget (default: the "
+                                    "dataset's largest registered budget)")
+    bench_gateway.add_argument("--scale", type=float, default=1.0,
+                               help="dataset scale multiplier (default: 1.0)")
+    bench_gateway.add_argument("--deployment",
+                               choices=("original", "synthetic"),
+                               default="original",
+                               help="deployment shape to benchmark "
+                                    "(default: original)")
+    bench_gateway.add_argument("--replicas", type=int, default=2,
+                               help="replica count for the throughput "
+                                    "comparison (default: 2)")
+    bench_gateway.add_argument("--requests", type=int, default=48,
+                               help="requests per throughput run "
+                                    "(default: 48)")
+    bench_gateway.add_argument("--nodes-per-request", type=int, default=8,
+                               help="inductive nodes per request "
+                                    "(default: 8)")
+    bench_gateway.add_argument("--ramp-requests", type=int, default=200,
+                               help="requests in the autoscale ramp "
+                                    "(default: 200)")
+    bench_gateway.add_argument("--router", default="round-robin",
+                               help="routing policy registry key "
+                                    "(default: round-robin)")
+    bench_gateway.add_argument("--batch-mode", choices=("graph", "node"),
+                               default="node")
+    bench_gateway.add_argument("--output", default="BENCH_gateway.json",
+                               help="output JSON path "
+                                    "(default: BENCH_gateway.json)")
+    bench_gateway.add_argument("--gate", action="store_true",
+                               help="fail (exit 1) unless socket throughput "
+                                    "keeps --min-socket-ratio of in-process, "
+                                    "shed accounting is exact, the "
+                                    "autoscaler reacts before the ramp "
+                                    "peak with zero lost requests, and "
+                                    "gateway responses match direct "
+                                    "serving bitwise")
+    bench_gateway.add_argument("--min-socket-ratio", type=float, default=0.7,
+                               help="socket/in-process throughput ratio "
+                                    "the --gate requires (default: 0.7)")
+
     bench_fleet = sub.add_parser(
         "bench-fleet",
         help="run the fleet benchmark (throughput scaling across replica "
@@ -401,6 +499,8 @@ def build_parser() -> argparse.ArgumentParser:
     online.set_defaults(handler=_cmd_serve_online)
     stream.set_defaults(handler=_cmd_serve_stream)
     fleet.set_defaults(handler=_cmd_serve_fleet)
+    gateway.set_defaults(handler=_cmd_serve_gateway)
+    bench_gateway.set_defaults(handler=_cmd_bench_gateway)
     bench.set_defaults(handler=_cmd_bench)
     bench_condense.set_defaults(handler=_cmd_bench_condense)
     bench_stream.set_defaults(handler=_cmd_bench_stream)
@@ -623,6 +723,117 @@ def _cmd_serve_fleet(args) -> int:
     return 0
 
 
+def _cmd_serve_gateway(args) -> int:
+    import signal
+    import threading
+
+    shed = None if args.shed_policy == "none" else args.shed_policy
+    scale = None if args.scale_policy == "none" else args.scale_policy
+    scale_options = None
+    if scale is not None:
+        scale_options = {"min_replicas": args.min_replicas,
+                         "max_replicas": args.max_replicas}
+    gateway = api.open_gateway(
+        args.artifact, args.replicas, host=args.host, port=args.port,
+        router=args.router, batch_mode=args.batch_mode, mmap=args.mmap,
+        shed_policy=shed, max_inflight=args.max_inflight,
+        scale_policy=scale, scale_options=scale_options,
+        autoscale_interval=args.autoscale_interval,
+        scale_cooldown=args.scale_cooldown)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        print(f"\nreceived {signal.Signals(signum).name}: draining "
+              "in-flight requests, then shutting down", flush=True)
+        stop.set()
+
+    previous = {s: signal.signal(s, _request_stop)
+                for s in (signal.SIGTERM, signal.SIGINT)}
+    try:
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                handle.write(f"{gateway.port}\n")
+        policies = (f"shed={shed or 'none'}, scale={scale or 'none'}")
+        print(f"gateway listening on {gateway.host}:{gateway.port} "
+              f"({args.replicas} replicas, {args.router} router, "
+              f"{policies})", flush=True)
+        print("probe with GET /healthz; stop with SIGTERM for a "
+              "graceful drain", flush=True)
+        while not stop.wait(0.5):
+            pass
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        gateway.close(drain=True)
+    stats = gateway.stats()
+    print(f"drained: {stats['served']} served, {stats['shed']} shed, "
+          f"{stats['errors']} errors of {stats['offered']} offered")
+    if stats["scale_events"]:
+        for event in stats["scale_events"]:
+            print(f"  scale {event['action']}: {event['from']} -> "
+                  f"{event['to']} replicas at t={event['t_s']:.2f}s "
+                  f"(queue depth {event['queue_depth']})")
+    return 0
+
+
+def _cmd_bench_gateway(args) -> int:
+    from repro.serving import (
+        check_gateway_benchmark_schema,
+        gate_gateway_benchmark,
+        run_gateway_benchmark,
+        write_benchmark_json,
+    )
+
+    result = run_gateway_benchmark(
+        args.dataset, method=args.method, budget=args.budget, seed=args.seed,
+        scale=args.scale, profile=args.effort, deployment=args.deployment,
+        replicas=args.replicas, num_requests=args.requests,
+        nodes_per_request=args.nodes_per_request,
+        ramp_requests=args.ramp_requests, router=args.router,
+        batch_mode=args.batch_mode)
+    check_gateway_benchmark_schema(result)
+    path = write_benchmark_json(result, args.output)
+    throughput = result["throughput"]
+    print(f"throughput     socket "
+          f"{throughput['socket']['requests_per_s']:.0f} req/s vs "
+          f"in-process {throughput['in_process']['requests_per_s']:.0f} "
+          f"req/s ({throughput['socket_ratio']:.2f}x) at "
+          f"{args.replicas} replicas")
+    socket_side = throughput["socket"]
+    print(f"socket tail    p50/p95/p99 "
+          f"{socket_side['latency_p50_ms']:.2f}/"
+          f"{socket_side['latency_p95_ms']:.2f}/"
+          f"{socket_side['latency_p99_ms']:.2f} ms")
+    shedding = result["shedding"]
+    print(f"shedding       {shedding['served']} served + "
+          f"{shedding['shed']} shed == {shedding['offered']} offered: "
+          f"{'exact' if shedding['accounting_exact'] else 'BROKEN'}")
+    autoscale = result["autoscale"]
+    reaction = autoscale["scale_up_reaction_s"]
+    reaction_part = ("never" if reaction is None
+                     else f"at t={reaction:.2f}s "
+                          f"(ramp peak t={autoscale['ramp']['peak_s']:.2f}s)")
+    print(f"autoscale      1 -> {autoscale['peak_replicas']} replicas "
+          f"{reaction_part}, {autoscale['lost']} lost, scaled "
+          f"{'down' if autoscale['scaled_down'] else 'DOWN FAILED'} after")
+    print(f"parity         "
+          f"{'ok' if result['parity']['gateway_bitwise_equal'] else 'BROKEN'}"
+          f" {result['parity']['paths']}")
+    print(f"wrote {path}")
+    if args.gate:
+        failures = gate_gateway_benchmark(
+            result, min_socket_ratio=args.min_socket_ratio)
+        if failures:
+            for failure in failures:
+                print(f"perf gate: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed: socket keeps "
+              f"{throughput['socket_ratio']:.2f}x of in-process "
+              f"throughput with exact shed accounting and a pre-peak "
+              f"scale-up")
+    return 0
+
+
 def _cmd_bench_fleet(args) -> int:
     from repro.serving import (
         check_fleet_benchmark_schema,
@@ -680,6 +891,7 @@ def _cmd_bench_schema(args) -> int:
     from repro.serving import (
         check_benchmark_schema,
         check_fleet_benchmark_schema,
+        check_gateway_benchmark_schema,
         check_streaming_benchmark_schema,
     )
 
@@ -688,6 +900,7 @@ def _cmd_bench_schema(args) -> int:
         "condense-benchmark": check_condense_benchmark_schema,
         "streaming-benchmark": check_streaming_benchmark_schema,
         "fleet-benchmark": check_fleet_benchmark_schema,
+        "gateway-benchmark": check_gateway_benchmark_schema,
     }
     for name in args.files:
         try:
@@ -850,7 +1063,8 @@ def _print_report(report) -> None:
 def _cmd_list(args) -> int:
     import repro.serving  # noqa: F401 — populates scheduler/workload registries
     from repro.graph.partition import PARTITIONERS
-    from repro.registry import ROUTERS, SCHEDULERS, WORKLOADS
+    from repro.registry import (SCALE_POLICIES, SHED_POLICIES, ROUTERS,
+                                SCHEDULERS, WORKLOADS)
 
     print("reduction methods (repro condense --method):")
     for name, entry in REDUCERS.items():
@@ -870,6 +1084,12 @@ def _cmd_list(args) -> int:
         print(f"  {name:<10} {entry.description}")
     print("\nfleet routing policies (repro serve-fleet --router):")
     for name, entry in ROUTERS.items():
+        print(f"  {name:<16} {entry.description}")
+    print("\ngateway shed policies (repro serve-gateway --shed-policy):")
+    for name, entry in SHED_POLICIES.items():
+        print(f"  {name:<16} {entry.description}")
+    print("\ngateway scale policies (repro serve-gateway --scale-policy):")
+    for name, entry in SCALE_POLICIES.items():
         print(f"  {name:<16} {entry.description}")
     print("\ntable-II method columns (repro eval --method):")
     for name, spec in METHODS.items():

@@ -32,16 +32,22 @@ __all__ = [
     "SCHEDULERS",
     "WORKLOADS",
     "ROUTERS",
+    "SHED_POLICIES",
+    "SCALE_POLICIES",
     "register_reducer",
     "register_model",
     "register_dataset",
     "register_scheduler",
     "register_workload",
     "register_router",
+    "register_shed_policy",
+    "register_scale_policy",
     "make_reducer",
     "make_scheduler",
     "make_workload",
     "make_router",
+    "make_shed_policy",
+    "make_scale_policy",
 ]
 
 T = TypeVar("T")
@@ -152,6 +158,8 @@ DATASETS: Registry[Any] = Registry("dataset")
 SCHEDULERS: Registry[FactoryEntry] = Registry("micro-batch scheduler")
 WORKLOADS: Registry[FactoryEntry] = Registry("workload generator")
 ROUTERS: Registry[FactoryEntry] = Registry("fleet routing policy")
+SHED_POLICIES: Registry[FactoryEntry] = Registry("gateway shed policy")
+SCALE_POLICIES: Registry[FactoryEntry] = Registry("gateway scale policy")
 
 
 def register_reducer(name: str, *, profile_params: tuple[str, ...] = (),
@@ -237,6 +245,34 @@ def register_router(name: str, *, description: str = "",
     return wrap
 
 
+def register_shed_policy(name: str, *, description: str = "",
+                         overwrite: bool = False):
+    """Decorator registering a gateway admission/shed-policy factory."""
+
+    def wrap(factory):
+        SHED_POLICIES.register(
+            name, FactoryEntry(name=name.lower(), factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+
+    return wrap
+
+
+def register_scale_policy(name: str, *, description: str = "",
+                          overwrite: bool = False):
+    """Decorator registering a gateway autoscaling-policy factory."""
+
+    def wrap(factory):
+        SCALE_POLICIES.register(
+            name, FactoryEntry(name=name.lower(), factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+
+    return wrap
+
+
 def make_reducer(method: str, seed: int = 0, **cfg):
     """Instantiate a registered reduction method.
 
@@ -260,3 +296,13 @@ def make_workload(name: str, **cfg):
 def make_router(name: str, **cfg):
     """Instantiate a registered fleet routing policy."""
     return ROUTERS.get(name).factory(**cfg)
+
+
+def make_shed_policy(name: str, **cfg):
+    """Instantiate a registered gateway shed policy."""
+    return SHED_POLICIES.get(name).factory(**cfg)
+
+
+def make_scale_policy(name: str, **cfg):
+    """Instantiate a registered gateway scale policy."""
+    return SCALE_POLICIES.get(name).factory(**cfg)

@@ -18,13 +18,21 @@ for.  The pieces:
 - :mod:`~repro.serving.stream_bench` — the ``repro bench-stream``
   streaming-evolution benchmark (delta refresh vs full rebuild);
 - :mod:`~repro.serving.fleet_bench` — the ``repro bench-fleet``
-  throughput-scaling / failover / cold-start benchmark.
+  throughput-scaling / failover / cold-start benchmark;
+- :mod:`~repro.serving.protocol` — the gateway's length-prefixed wire
+  protocol (JSON or binary payloads) and the stdlib-socket client;
+- :mod:`~repro.serving.gateway` — the asyncio TCP/HTTP front door:
+  admission control with load shedding, queue-driven replica
+  autoscaling;
+- :mod:`~repro.serving.gateway_bench` — the ``repro bench-gateway``
+  socket-throughput / shed-accounting / autoscale-reaction benchmark.
 
 Entry points: ``repro.api.open_runtime(bundle)`` for a frozen deployment,
 ``repro.api.open_stream(bundle)`` for one that ingests
-:class:`~repro.graph.stream.GraphDelta` traffic while serving, and
+:class:`~repro.graph.stream.GraphDelta` traffic while serving,
 ``repro.api.open_fleet(artifact)`` for a horizontally-scaled replica
-fleet.
+fleet, and ``repro.api.open_gateway(artifact)`` for that fleet behind
+the network gateway.
 """
 
 from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
@@ -79,6 +87,22 @@ from repro.serving.fleet_bench import (
     gate_fleet_benchmark,
     run_fleet_benchmark,
 )
+from repro.serving.protocol import GatewayClient, GatewayReply, ProtocolError
+from repro.serving.gateway import (
+    AdmitAllShed,
+    PinnedScale,
+    QueueDepthScale,
+    ScalePolicy,
+    ServingGateway,
+    ShedPolicy,
+    WatermarkShed,
+)
+from repro.serving.gateway_bench import (
+    GATEWAY_BENCH_SCHEMA_VERSION,
+    check_gateway_benchmark_schema,
+    gate_gateway_benchmark,
+    run_gateway_benchmark,
+)
 
 __all__ = [
     "PreparedDeployment", "DeltaRefreshReport",
@@ -98,4 +122,9 @@ __all__ = [
     "replay_fleet",
     "FLEET_BENCH_SCHEMA_VERSION", "check_fleet_benchmark_schema",
     "gate_fleet_benchmark", "run_fleet_benchmark",
+    "GatewayClient", "GatewayReply", "ProtocolError",
+    "ServingGateway", "ShedPolicy", "AdmitAllShed", "WatermarkShed",
+    "ScalePolicy", "PinnedScale", "QueueDepthScale",
+    "GATEWAY_BENCH_SCHEMA_VERSION", "check_gateway_benchmark_schema",
+    "gate_gateway_benchmark", "run_gateway_benchmark",
 ]

@@ -193,9 +193,10 @@ def _replica_worker(replica_id: int, generation: int, artifact: str,
         message = inbox.get()
         if message[0] == "stop":
             return
-        _, request_id, batch = message
+        _, request_id, batch, mode, frozen = message
         try:
-            logits, seconds, _ = prepared.serve_batch(batch, batch_mode)
+            serve = prepared.serve_batch_frozen if frozen else prepared.serve_batch
+            logits, seconds, _ = serve(batch, mode or batch_mode)
             outbox.put(("done", replica_id, generation, request_id,
                         logits, seconds))
         except Exception as error:  # noqa: BLE001 — forwarded to the future
@@ -229,6 +230,8 @@ class _Pending:
     key: str | None
     future: FleetFuture
     submitted_at: float
+    mode: str | None = None  # None → the fleet's batch_mode
+    frozen: bool = False  # serve via the cached-propagation fast path
     replica_id: int | None = None
     attempts: int = 0
 
@@ -303,6 +306,27 @@ class ReplicaPool:
             replica.inbox.close()
         except (OSError, ValueError):
             pass
+
+    def add_slot(self) -> _Replica:
+        """Grow the pool by one fresh replica slot (autoscaling up).
+
+        The new slot reuses the same spawn machinery as respawn/startup;
+        the caller is responsible for waiting until it reports ready.
+        """
+        replica_id = max(self.replicas, default=-1) + 1
+        replica = self._spawn(replica_id, generation=0)
+        self.replicas[replica_id] = replica
+        self.size += 1
+        return replica
+
+    def remove_slot(self, replica_id: int) -> None:
+        """Forget a slot whose process was already stopped (scaling down)."""
+        replica = self.replicas.pop(replica_id)
+        if replica.state != "dead":
+            raise ServingError(
+                f"cannot remove replica {replica_id} in state "
+                f"{replica.state!r}; stop it first")
+        self.size -= 1
 
     def respawn(self, replica_id: int,
                 artifact: str | Path | None = None) -> _Replica:
@@ -427,11 +451,16 @@ class ServingFleet:
     # Admission and dispatch
     # ------------------------------------------------------------------
     def submit(self, features, incremental, intra=None, *,
-               key: str | None = None) -> FleetFuture:
+               key: str | None = None, mode: str | None = None,
+               frozen: bool = False) -> FleetFuture:
         """Admit one request; returns its :class:`FleetFuture`.
 
         ``key`` feeds the routing policy (consistent-hash affinity);
         requests without a key follow the policy's keyless behavior.
+        ``mode`` overrides the fleet's default batch mode for this
+        request only, and ``frozen`` serves it through the
+        cached-propagation fast path (SGC deployments) — the per-request
+        knobs the network gateway exposes on the wire.
         """
         feats = np.asarray(features, dtype=np.float64)
         if feats.ndim == 1:
@@ -451,14 +480,19 @@ class ServingFleet:
         batch = IncrementalBatch(
             features=feats, incremental=incremental, intra=intra.tocsr(),
             labels=np.full(n, -1, dtype=np.int64))
-        return self.submit_batch(batch, key=key)
+        return self.submit_batch(batch, key=key, mode=mode, frozen=frozen)
 
     def submit_batch(self, batch: IncrementalBatch, *,
-                     key: str | None = None) -> FleetFuture:
+                     key: str | None = None, mode: str | None = None,
+                     frozen: bool = False) -> FleetFuture:
         """Admit a pre-assembled :class:`IncrementalBatch` as one request."""
+        if mode is not None and mode not in ("graph", "node"):
+            raise ServingError(
+                f"mode must be 'graph' or 'node', got {mode!r}")
         entry = _Pending(request_id=next(self._request_ids), batch=batch,
                          key=key, future=FleetFuture(),
-                         submitted_at=time.perf_counter())
+                         submitted_at=time.perf_counter(),
+                         mode=mode, frozen=bool(frozen))
         with self._lock:
             # checked under the lock: close() sweeps _pending under it,
             # so a request can never slip in after the sweep and hang
@@ -505,7 +539,8 @@ class ServingFleet:
         entry.replica_id = replica_id
         entry.attempts += 1
         replica.inflight.add(entry.request_id)
-        replica.inbox.put(("serve", entry.request_id, entry.batch))
+        replica.inbox.put(("serve", entry.request_id, entry.batch,
+                           entry.mode, entry.frozen))
 
     def _fail_entry(self, entry: _Pending, error: ServingError) -> None:
         """Terminal failure of one request (caller holds the lock)."""
@@ -697,6 +732,59 @@ class ServingFleet:
             time.sleep(self._POLL_SECONDS)
 
     # ------------------------------------------------------------------
+    # Elastic scaling (the gateway autoscaler's levers)
+    # ------------------------------------------------------------------
+    def scale_to(self, replicas: int, *, wait: bool = True,
+                 timeout: float = 120.0, drain_timeout: float = 60.0) -> int:
+        """Grow or shrink the fleet to ``replicas`` slots; returns the size.
+
+        Growing spawns fresh slots through the pool's respawn machinery
+        (and, with ``wait``, blocks until each reports ready so the
+        caller knows added capacity is real).  Shrinking retires the
+        highest-numbered slots one at a time with the same drain dance a
+        hot swap uses — the slot stops receiving traffic, finishes its
+        in-flight requests, then exits — so scaling down never drops an
+        admitted request.
+        """
+        if replicas <= 0:
+            raise ServingError(
+                f"fleet size must stay positive, got {replicas}")
+        while self.pool.size < replicas:
+            with self._lock:
+                if self._closing.is_set():
+                    raise ServingError("fleet is closed; cannot scale")
+                replica = self.pool.add_slot()
+            if wait:
+                self._wait_slot_ready(replica.replica_id, timeout)
+        while self.pool.size > replicas:
+            self._retire_one(drain_timeout)
+        return self.pool.size
+
+    def _retire_one(self, drain_timeout: float) -> None:
+        """Drain and remove the highest-numbered slot (zero dropped work)."""
+        with self._lock:
+            replica_id = max(self.pool.replicas)
+            replica = self.pool.replicas[replica_id]
+            if replica.state == "ready":
+                replica.state = "draining"
+        self._wait_drained(replica_id, drain_timeout)
+        with self._lock:
+            # re-read the slot: a mid-drain death already respawned it
+            replica = self.pool.replicas[replica_id]
+            self.pool.stop_replica(replica)
+            self.pool.remove_slot(replica_id)
+
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet resolved (dispatched + parked).
+
+        The congestion signal the gateway's admission control and
+        autoscaler read: it counts work the fleet has accepted
+        responsibility for, wherever it currently sits.
+        """
+        with self._lock:
+            return len(self._pending)
+
+    # ------------------------------------------------------------------
     # Fault injection and introspection
     # ------------------------------------------------------------------
     def kill_replica(self, replica_id: int) -> None:
@@ -718,11 +806,25 @@ class ServingFleet:
                 raise ServingError(f"fleet did not drain within {timeout}s")
             time.sleep(self._POLL_SECONDS)
 
-    def reset_latencies(self) -> None:
+    def reset_latencies(self, *, counters: bool = False) -> None:
         """Drop the recorded wall latencies (e.g. after cache warm-up),
-        so :meth:`stats` percentiles reflect steady-state serving only."""
+        so :meth:`stats` percentiles reflect steady-state serving only.
+
+        The latency window and the volume counters reset independently:
+        by default the completed/failed/rerouted totals (and per-replica
+        served counts) survive, so excluding warm-up traffic from the
+        percentiles does not erase the request accounting the shed/scale
+        gates audit.  Pass ``counters=True`` to zero those too (a full
+        measurement-epoch reset, e.g. between benchmark phases).
+        """
         with self._lock:
             self._latencies.clear()
+            if counters:
+                self.completed = 0
+                self.failed = 0
+                self.rerouted = 0
+                for replica in self.pool.replicas.values():
+                    replica.served = 0
 
     def stats(self) -> dict:
         """JSON-ready fleet accounting: volume, failover, tail latency."""

@@ -84,16 +84,41 @@ class ServingFuture:
         self._logits: np.ndarray | None = None
         self._record: RequestRecord | None = None
         self._error: BaseException | None = None
+        self._callback_lock = threading.Lock()
+        self._callbacks: list = []
 
     # -- runtime side ---------------------------------------------------
     def _resolve(self, logits: np.ndarray, record: RequestRecord) -> None:
         self._logits = logits
         self._record = record
         self._done.set()
+        self._run_callbacks()
 
     def _fail(self, error: BaseException) -> None:
         self._error = error
         self._done.set()
+        self._run_callbacks()
+
+    def _run_callbacks(self) -> None:
+        with self._callback_lock:
+            callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback(self)`` once the future completes.
+
+        Invoked from whichever thread resolves the future (immediately,
+        from the caller, if it already completed), so callbacks must be
+        quick and non-blocking — the async gateway uses this to hop a
+        completion back onto its event loop without burning a waiter
+        thread per in-flight request.
+        """
+        with self._callback_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
 
     # -- caller side ----------------------------------------------------
     def done(self) -> bool:

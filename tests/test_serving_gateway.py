@@ -1,0 +1,734 @@
+"""Network gateway: wire protocol, admission control, autoscaling."""
+
+from __future__ import annotations
+
+import io
+import json
+import http.client
+import socket
+import struct
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import api
+from repro.cli import main
+from repro.errors import RegistryError, ServingError
+from repro.graph.datasets import IncrementalBatch
+from repro.registry import (SCALE_POLICIES, SHED_POLICIES, make_scale_policy,
+                            make_shed_policy)
+from repro.serving import ServingFleet, split_requests
+from repro.serving.gateway import (
+    AdmitAllShed,
+    PinnedScale,
+    QueueDepthScale,
+    ServingGateway,
+    WatermarkShed,
+)
+from repro.serving import protocol
+from repro.serving.gateway_bench import (
+    check_gateway_benchmark_schema,
+    gate_gateway_benchmark,
+)
+from repro.serving.protocol import (
+    GatewayClient,
+    ProtocolError,
+    decode_prefix,
+    decode_reply,
+    decode_serve_request,
+    encode_frame,
+    encode_reply,
+    encode_serve_request,
+    read_frame_from,
+)
+from repro.utils.reports import write_benchmark_json
+
+
+# ----------------------------------------------------------------------
+# Shared artifacts (module-cached: deploys and process spawns are slow)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def gw_bundle():
+    return api.deploy("tiny-sim", "mcond", 9, profile="quick",
+                      deployment="synthetic")
+
+
+@pytest.fixture(scope="module")
+def gw_artifact(gw_bundle, tmp_path_factory):
+    root = tmp_path_factory.mktemp("gateway-artifacts")
+    return gw_bundle.save(root / "synthetic.npz", layout="mmap")
+
+
+@pytest.fixture(scope="module")
+def gw_requests(gw_bundle):
+    return split_requests(api.evaluation_batch(gw_bundle), 12, 2)
+
+
+@pytest.fixture(scope="module")
+def gateway(gw_artifact):
+    """One long-lived 1-replica gateway for the read-mostly tests."""
+    fleet = ServingFleet(gw_artifact, 1, router="round-robin",
+                        batch_mode="node")
+    gw = ServingGateway(fleet, max_inflight=64, owns_fleet=True)
+    gw.start()
+    yield gw
+    gw.close()
+
+
+def _toy_batch(n: int = 3, d: int = 4, total: int = 10,
+               with_intra: bool = True) -> IncrementalBatch:
+    rng = np.random.default_rng(5)
+    features = rng.standard_normal((n, d))
+    incremental = sp.random(n, total, density=0.4, random_state=3,
+                            format="csr", dtype=np.float64)
+    intra = None
+    if with_intra:
+        intra = sp.random(n, n, density=0.5, random_state=4, format="csr",
+                          dtype=np.float64)
+    return IncrementalBatch(features=features, incremental=incremental,
+                            intra=intra,
+                            labels=np.full(n, -1, dtype=np.int64))
+
+
+def _round_trip(batch, **kwargs):
+    frame = encode_serve_request(7, batch, **kwargs)
+    header, payload = read_frame_from(io.BytesIO(frame).read)
+    return decode_serve_request(header, payload)
+
+
+# ----------------------------------------------------------------------
+# Wire protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    @pytest.mark.parametrize("encoding", ["json", "binary"])
+    def test_serve_round_trip_is_bitwise(self, encoding):
+        batch = _toy_batch()
+        request = _round_trip(batch, mode="graph", frozen=True, key="k1",
+                              encoding=encoding)
+        assert request.request_id == 7
+        assert request.mode == "graph"
+        assert request.frozen is True
+        assert request.key == "k1"
+        assert request.encoding == encoding
+        assert np.array_equal(request.batch.features, batch.features)
+        assert np.array_equal(request.batch.incremental.toarray(),
+                              batch.incremental.toarray())
+        assert np.array_equal(request.batch.intra.toarray(),
+                              batch.intra.toarray())
+        assert (request.batch.labels == -1).all()
+
+    def test_float32_payload_widens_exactly(self):
+        batch = _toy_batch()
+        narrowed = IncrementalBatch(
+            features=batch.features.astype(np.float32),
+            incremental=batch.incremental.astype(np.float32),
+            intra=batch.intra, labels=batch.labels)
+        request = _round_trip(narrowed, encoding="binary", dtype="float32")
+        assert request.batch.features.dtype == np.float64
+        assert np.array_equal(request.batch.features,
+                              narrowed.features.astype(np.float64))
+
+    def test_missing_intra_defaults_to_empty(self):
+        request = _round_trip(_toy_batch(with_intra=False))
+        assert request.batch.intra.shape == (3, 3)
+        assert request.batch.intra.nnz == 0
+        assert request.mode is None and request.frozen is False
+
+    def test_reply_round_trip(self):
+        logits = np.random.default_rng(0).standard_normal((3, 5))
+        frame = encode_reply(11, "ok", logits=logits, replica_id=2,
+                             attempts=1, compute_ms=0.5, encoding="binary")
+        reply = decode_reply(*read_frame_from(io.BytesIO(frame).read))
+        assert reply.ok and reply.request_id == 11
+        assert np.array_equal(reply.logits, logits)
+        assert reply.replica_id == 2 and reply.attempts == 1
+
+    def test_shed_reply_carries_hint(self):
+        frame = encode_reply(3, "shed", error="full", retry_after_ms=25.0)
+        reply = decode_reply(*read_frame_from(io.BytesIO(frame).read))
+        assert not reply.ok
+        assert reply.status == "shed" and reply.retry_after_ms == 25.0
+
+    def test_bad_magic_rejected(self):
+        prefix = struct.pack("!4sBII", b"XXXX", 1, 2, 0)
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_prefix(prefix)
+
+    def test_bad_version_rejected(self):
+        prefix = struct.pack("!4sBII", protocol.MAGIC, 99, 2, 0)
+        with pytest.raises(ProtocolError, match="version"):
+            decode_prefix(prefix)
+
+    def test_oversized_frame_rejected(self):
+        prefix = struct.pack("!4sBII", protocol.MAGIC, 1,
+                             protocol.MAX_HEADER_BYTES + 1, 0)
+        with pytest.raises(ProtocolError, match="too large"):
+            decode_prefix(prefix)
+
+    def test_truncated_prefix_rejected(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode_prefix(b"RP")
+
+    def test_header_must_be_json_object(self):
+        with pytest.raises(ProtocolError, match="JSON"):
+            read_frame_from(io.BytesIO(
+                struct.pack("!4sBII", protocol.MAGIC, 1, 4, 0) + b"nope").read)
+        frame = protocol._PREFIX.pack(protocol.MAGIC, 1, 2, 0) + b"[]"
+        with pytest.raises(ProtocolError, match="object"):
+            read_frame_from(io.BytesIO(frame).read)
+
+    def test_payload_descriptor_bounds_checked(self):
+        header = {"op": "serve", "id": 1, "encoding": "binary",
+                  "features": {"dtype": "float64", "shape": [2, 2],
+                               "offset": 0, "nbytes": 4096},
+                  "incremental": [[0.0]]}
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_serve_request(header, b"\x00" * 8)
+
+    def test_shape_and_row_mismatches_rejected(self):
+        batch = _toy_batch()
+        frame = encode_serve_request(1, batch)
+        header, payload = read_frame_from(io.BytesIO(frame).read)
+        bad = dict(header)
+        bad["features"] = [[1.0, 2.0]]  # 1 row vs 3 incremental rows
+        with pytest.raises(ProtocolError, match="rows"):
+            decode_serve_request(bad, payload)
+        bad = dict(header)
+        bad["mode"] = "turbo"
+        with pytest.raises(ProtocolError, match="mode"):
+            decode_serve_request(bad, payload)
+        bad = dict(header)
+        bad["id"] = "one"
+        with pytest.raises(ProtocolError, match="id"):
+            decode_serve_request(bad, payload)
+        bad = dict(header)
+        del bad["features"]
+        with pytest.raises(ProtocolError, match="features"):
+            decode_serve_request(bad, payload)
+
+    def test_intra_must_be_square(self):
+        batch = _toy_batch()
+        frame = encode_serve_request(1, batch)
+        header, payload = read_frame_from(io.BytesIO(frame).read)
+        header = dict(header)
+        header["intra"] = [[1.0, 0.0]]
+        with pytest.raises(ProtocolError, match="intra"):
+            decode_serve_request(header, payload)
+
+    def test_encoding_and_dtype_validated(self):
+        with pytest.raises(ServingError, match="encoding"):
+            encode_serve_request(1, _toy_batch(), encoding="pickle")
+        with pytest.raises(ServingError, match="dtype"):
+            encode_serve_request(1, _toy_batch(), dtype="float16")
+        with pytest.raises(ServingError, match="encoding"):
+            GatewayClient("127.0.0.1", 1, encoding="pickle")
+
+    def test_reply_without_status_rejected(self):
+        with pytest.raises(ProtocolError, match="status"):
+            decode_reply({"op": "reply", "id": 1}, b"")
+
+
+# ----------------------------------------------------------------------
+# Shed policies
+# ----------------------------------------------------------------------
+class TestShedPolicies:
+    def test_admit_all_never_sheds(self):
+        policy = AdmitAllShed()
+        assert policy.admit(queue_depth=10 ** 6, capacity=1) is None
+
+    def test_watermark_hysteresis(self):
+        policy = WatermarkShed(high=0.75, low=0.5, retry_after_ms=50.0)
+        assert policy.admit(queue_depth=74, capacity=100) is None
+        assert policy.admit(queue_depth=75, capacity=100) is not None
+        # still shedding inside the band (depth fell, but not to low)
+        assert policy.admit(queue_depth=60, capacity=100) is not None
+        # recovered at the low watermark
+        assert policy.admit(queue_depth=50, capacity=100) is None
+        assert policy.admit(queue_depth=60, capacity=100) is None
+
+    def test_watermark_hint_grows_with_overload(self):
+        policy = WatermarkShed(high=0.5, low=0.25, retry_after_ms=10.0)
+        light = policy.admit(queue_depth=50, capacity=100)
+        heavy = policy.admit(queue_depth=100, capacity=100)
+        assert light is not None and heavy is not None
+        assert heavy > light
+
+    def test_watermark_validation(self):
+        with pytest.raises(ServingError):
+            WatermarkShed(high=1.5)
+        with pytest.raises(ServingError):
+            WatermarkShed(high=0.5, low=0.8)
+        with pytest.raises(ServingError):
+            WatermarkShed(retry_after_ms=0)
+
+    def test_registry_builds_policies(self):
+        assert {"admit-all", "watermark"} <= set(SHED_POLICIES.keys())
+        policy = make_shed_policy("watermark", high=0.9, low=0.1)
+        assert isinstance(policy, WatermarkShed) and policy.high == 0.9
+        assert isinstance(make_shed_policy("admit-all"), AdmitAllShed)
+        with pytest.raises(RegistryError):
+            make_shed_policy("coin-flip")
+
+
+# ----------------------------------------------------------------------
+# Scale policies
+# ----------------------------------------------------------------------
+class TestScalePolicies:
+    def test_pinned_holds_size(self):
+        assert PinnedScale().target(replicas=3, queue_depth=100,
+                                    p95_ms=None) == 3
+        assert PinnedScale(replicas=2).target(replicas=5, queue_depth=0,
+                                              p95_ms=None) == 2
+        with pytest.raises(ServingError):
+            PinnedScale(replicas=0)
+
+    def test_queue_depth_steps_one_at_a_time(self):
+        policy = QueueDepthScale(min_replicas=1, max_replicas=4,
+                                 up_backlog=4.0, down_backlog=1.0)
+        # massive backlog still grows by exactly one replica
+        assert policy.target(replicas=1, queue_depth=1000, p95_ms=None) == 2
+        assert policy.target(replicas=2, queue_depth=8, p95_ms=None) == 3
+        # in the dead band the size holds
+        assert policy.target(replicas=2, queue_depth=4, p95_ms=None) == 2
+        # idle shrinks by one, never below min
+        assert policy.target(replicas=2, queue_depth=0, p95_ms=None) == 1
+        assert policy.target(replicas=1, queue_depth=0, p95_ms=None) == 1
+        # saturated stays at max
+        assert policy.target(replicas=4, queue_depth=1000, p95_ms=None) == 4
+
+    def test_queue_depth_p95_trip_wire(self):
+        policy = QueueDepthScale(max_replicas=4, up_backlog=100.0,
+                                 p95_up_ms=10.0)
+        assert policy.target(replicas=2, queue_depth=3, p95_ms=25.0) == 3
+        assert policy.target(replicas=2, queue_depth=3, p95_ms=None) == 2
+
+    def test_queue_depth_validation(self):
+        with pytest.raises(ServingError):
+            QueueDepthScale(min_replicas=0)
+        with pytest.raises(ServingError):
+            QueueDepthScale(min_replicas=3, max_replicas=2)
+        with pytest.raises(ServingError):
+            QueueDepthScale(up_backlog=1.0, down_backlog=2.0)
+
+    def test_registry_builds_policies(self):
+        assert {"pinned", "queue-depth"} <= set(SCALE_POLICIES.keys())
+        policy = make_scale_policy("queue-depth", min_replicas=2,
+                                   max_replicas=6)
+        assert isinstance(policy, QueueDepthScale)
+        assert (policy.min_replicas, policy.max_replicas) == (2, 6)
+        assert isinstance(make_scale_policy("pinned"), PinnedScale)
+
+
+# ----------------------------------------------------------------------
+# Fleet elasticity (scale_to / reset_latencies / queue_depth)
+# ----------------------------------------------------------------------
+class TestFleetElasticity:
+    def test_scale_up_and_down_loses_nothing(self, gw_artifact, gw_requests):
+        with ServingFleet(gw_artifact, 1, router="round-robin",
+                          batch_mode="node") as fleet:
+            futures = [fleet.submit_batch(r) for r in gw_requests]
+            assert fleet.scale_to(2) == 2
+            assert fleet.num_replicas == 2
+            futures += [fleet.submit_batch(r) for r in gw_requests]
+            assert fleet.scale_to(1) == 1
+            results = [f.result(timeout=120.0) for f in futures]
+            assert all(r is not None for r in results)
+            assert fleet.num_replicas == 1
+            assert fleet.queue_depth() == 0
+            with pytest.raises(ServingError):
+                fleet.scale_to(0)
+
+    def test_reset_latencies_keeps_request_counters(self, gw_artifact,
+                                                    gw_requests):
+        with ServingFleet(gw_artifact, 1, router="round-robin",
+                          batch_mode="node") as fleet:
+            for request in gw_requests[:4]:
+                fleet.submit_batch(request).result(timeout=120.0)
+            stats = fleet.stats()
+            assert stats["completed"] == 4
+            assert stats["latency_p50_ms"] is not None
+            fleet.reset_latencies()
+            stats = fleet.stats()
+            # percentiles reset, the accounting the gates audit survives
+            assert stats["latency_p50_ms"] is None
+            assert stats["completed"] == 4
+            assert sum(r["served"] for r in stats["per_replica"].values()) == 4
+            fleet.reset_latencies(counters=True)
+            stats = fleet.stats()
+            assert stats["completed"] == 0
+            assert all(r["served"] == 0
+                       for r in stats["per_replica"].values())
+
+
+# ----------------------------------------------------------------------
+# Gateway serving
+# ----------------------------------------------------------------------
+class TestGatewayServing:
+    def test_socket_matches_direct_fleet_bitwise(self, gateway, gw_requests):
+        """Acceptance: gateway replies == direct submit, per path."""
+        fleet = gateway.fleet
+        for encoding in ("json", "binary"):
+            with GatewayClient(*gateway.address, encoding=encoding) as client:
+                for mode in ("graph", "node"):
+                    for request in gw_requests[:3]:
+                        direct = fleet.submit_batch(
+                            request, mode=mode).result(timeout=120.0)
+                        reply = client.serve_batch(request, mode=mode)
+                        assert reply.ok, reply.error
+                        assert reply.logits.dtype == np.float64
+                        assert np.array_equal(direct, reply.logits)
+
+    def test_frozen_path_parity(self, gateway, gw_requests):
+        fleet = gateway.fleet
+        direct = fleet.submit_batch(gw_requests[0],
+                                    frozen=True).result(timeout=120.0)
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            reply = client.serve_batch(gw_requests[0], frozen=True)
+        assert reply.ok, reply.error
+        assert np.array_equal(direct, reply.logits)
+
+    def test_pipelined_replies_come_back_by_id(self, gateway, gw_requests):
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            ids = [client.submit(r) for r in gw_requests[:6]]
+            replies = client.drain(len(ids))
+        assert sorted(replies) == sorted(ids)
+        assert all(reply.ok for reply in replies.values())
+
+    def test_serve_convenience_wrapper(self, gateway, gw_requests):
+        batch = gw_requests[0]
+        with GatewayClient(*gateway.address) as client:
+            reply = client.serve(batch.features, batch.incremental,
+                                 batch.intra)
+        assert reply.ok
+        assert reply.logits.shape[0] == batch.features.shape[0]
+
+    def test_ping_and_stats_ops(self, gateway):
+        with GatewayClient(*gateway.address) as client:
+            assert client.ping().status == "pong"
+            stats = client.stats()
+        assert stats["port"] == gateway.port
+        assert stats["served"] <= stats["offered"]
+        assert stats["shed_policy"] == "admit-all"
+        assert stats["fleet"]["replicas"] == 1
+
+    def test_unknown_op_gets_error_reply(self, gateway):
+        with GatewayClient(*gateway.address) as client:
+            client._sock.sendall(encode_frame({"op": "bogus", "id": 41}))
+            reply = client._read_reply()
+        assert reply.status == "error" and reply.request_id == 41
+        assert "bogus" in reply.error
+
+    def test_malformed_serve_keeps_connection_alive(self, gateway):
+        with GatewayClient(*gateway.address) as client:
+            client._sock.sendall(encode_frame({"op": "serve", "id": 9}))
+            reply = client._read_reply()
+            assert reply.status == "error" and reply.request_id == 9
+            assert "features" in reply.error
+            # the error was per-request, not per-connection
+            assert client.ping().status == "pong"
+
+    def test_http_probes(self, gateway):
+        for path, expect in (("/healthz", 200), ("/stats", 200),
+                             ("/nope", 404)):
+            conn = http.client.HTTPConnection(*gateway.address, timeout=10)
+            try:
+                conn.request("GET", path)
+                response = conn.getresponse()
+                body = json.loads(response.read())
+            finally:
+                conn.close()
+            assert response.status == expect
+            if path == "/healthz":
+                assert body == {"status": "ok", "replicas": 1}
+            elif path == "/stats":
+                assert body["offered"] >= body["served"]
+
+    def test_start_twice_raises(self, gateway):
+        with pytest.raises(ServingError, match="already started"):
+            gateway.start()
+
+    def test_constructor_validation(self, gateway):
+        with pytest.raises(ServingError):
+            ServingGateway(gateway.fleet, max_inflight=0)
+        with pytest.raises(ServingError):
+            ServingGateway(gateway.fleet, autoscale_interval=0)
+        with pytest.raises(ServingError):
+            ServingGateway(gateway.fleet, scale_cooldown=-1)
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestGatewayAdmission:
+    def test_watermark_burst_sheds_and_accounts_exactly(self, gw_artifact,
+                                                        gw_requests):
+        fleet = ServingFleet(gw_artifact, 1, router="round-robin",
+                            batch_mode="node")
+        gateway = ServingGateway(
+            fleet, owns_fleet=True, max_inflight=4,
+            shed_policy=WatermarkShed(high=0.5, low=0.25,
+                                      retry_after_ms=25.0))
+        gateway.start()
+        try:
+            with GatewayClient(*gateway.address,
+                               encoding="binary") as client:
+                count = len([client.submit(r)
+                             for r in gw_requests * 4])  # 48 >> cap 4
+                replies = client.drain(count)
+            ok = sum(r.ok for r in replies.values())
+            shed = [r for r in replies.values() if r.status == "shed"]
+            assert ok + len(shed) == count
+            assert shed, "the burst never tripped the watermark"
+            assert all(r.retry_after_ms is not None
+                       and r.retry_after_ms > 0 for r in shed)
+            stats = gateway.stats()
+            assert stats["offered"] == count
+            assert stats["served"] == ok
+            assert stats["shed"] == len(shed)
+            assert stats["errors"] == 0
+            assert stats["inflight"] == 0
+        finally:
+            gateway.close()
+        # close is idempotent and flips the draining flag
+        gateway.close()
+        assert gateway.stats()["draining"] is True
+        with pytest.raises(OSError):
+            socket.create_connection(gateway.address, timeout=1.0)
+
+    def test_hard_cap_sheds_with_fallback_hint(self, gw_artifact,
+                                               gw_requests):
+        fleet = ServingFleet(gw_artifact, 1, router="round-robin",
+                            batch_mode="node")
+        gateway = ServingGateway(fleet, owns_fleet=True, max_inflight=1,
+                                 shed_policy=AdmitAllShed())
+        gateway.start()
+        try:
+            with GatewayClient(*gateway.address,
+                               encoding="binary") as client:
+                count = len([client.submit(r) for r in gw_requests])
+                replies = client.drain(count)
+            shed = [r for r in replies.values() if r.status == "shed"]
+            assert shed, "the 1-slot cap never rejected a burst request"
+            # the backstop still hints (>= the 50 ms floor)
+            assert all(r.retry_after_ms >= 50.0 for r in shed)
+            stats = gateway.stats()
+            assert stats["served"] + stats["shed"] == stats["offered"]
+        finally:
+            gateway.close()
+
+
+# ----------------------------------------------------------------------
+# Autoscaling
+# ----------------------------------------------------------------------
+class TestGatewayAutoscale:
+    def test_burst_scales_up_then_back_down(self, gw_artifact, gw_requests):
+        import time
+
+        fleet = ServingFleet(gw_artifact, 1, router="round-robin",
+                            batch_mode="node")
+        gateway = ServingGateway(
+            fleet, owns_fleet=True, max_inflight=1024,
+            scale_policy=QueueDepthScale(min_replicas=1, max_replicas=2,
+                                         up_backlog=2.0, down_backlog=0.5),
+            autoscale_interval=0.05, scale_cooldown=0.3)
+        gateway.start()
+        try:
+            with GatewayClient(*gateway.address,
+                               encoding="binary") as client:
+                client.serve_batch(gw_requests[0])  # warm the replica
+                count = len([client.submit(r) for r in gw_requests * 8])
+                replies = client.drain(count)
+                assert all(r.ok for r in replies.values())
+                events = list(gateway.scale_events)
+                assert any(e["action"] == "up" for e in events)
+                up = next(e for e in events if e["action"] == "up")
+                assert (up["from"], up["to"]) == (1, 2)
+                assert up["queue_depth"] >= 2
+                assert up["t_s"] >= 0
+                # traffic is gone: the policy walks the fleet back down
+                deadline = time.monotonic() + 30.0
+                while (gateway.fleet.num_replicas > 1
+                       and time.monotonic() < deadline):
+                    time.sleep(0.05)
+                assert gateway.fleet.num_replicas == 1
+                assert any(e["action"] == "down"
+                           for e in gateway.scale_events)
+                assert client.serve_batch(gw_requests[0]).ok
+        finally:
+            gateway.close()
+
+
+# ----------------------------------------------------------------------
+# api.open_gateway
+# ----------------------------------------------------------------------
+class TestOpenGateway:
+    def test_round_trip_and_owned_fleet_closes(self, gw_bundle, gw_requests):
+        gateway = api.open_gateway(gw_bundle, 1)
+        try:
+            assert gateway.port != 0
+            with GatewayClient(*gateway.address) as client:
+                assert client.serve_batch(gw_requests[0]).ok
+            assert gateway.stats()["shed_policy"] == "watermark"
+        finally:
+            gateway.close()
+        with pytest.raises(ServingError):
+            gateway.fleet.submit_batch(gw_requests[0])
+
+    def test_policy_options_forwarded(self, gw_bundle):
+        gateway = api.open_gateway(
+            gw_bundle, 1, scale_policy="queue-depth",
+            scale_options={"min_replicas": 1, "max_replicas": 3},
+            shed_policy="watermark", shed_options={"high": 0.9},
+            start=False)
+        try:
+            assert isinstance(gateway.scale_policy, QueueDepthScale)
+            assert gateway.scale_policy.max_replicas == 3
+            assert isinstance(gateway.shed_policy, WatermarkShed)
+            assert gateway.shed_policy.high == 0.9
+        finally:
+            gateway.close()
+
+    def test_policy_instances_pass_through(self, gw_bundle):
+        shed = WatermarkShed(high=0.6)
+        gateway = api.open_gateway(gw_bundle, 1, shed_policy=shed,
+                                   scale_policy=PinnedScale(), start=False)
+        try:
+            assert gateway.shed_policy is shed
+            assert isinstance(gateway.scale_policy, PinnedScale)
+        finally:
+            gateway.close()
+
+
+# ----------------------------------------------------------------------
+# Benchmark schema and gates
+# ----------------------------------------------------------------------
+def _fake_gateway_result():
+    side = {"replicas": 2, "requests": 48, "served": 48, "wall_s": 1.0,
+            "requests_per_s": 48.0, "latency_p50_ms": 5.0,
+            "latency_p95_ms": 9.0, "latency_p99_ms": 11.0}
+    return {
+        "schema_version": 1, "kind": "gateway-benchmark",
+        "dataset": "pubmed-sim", "method": "mcond", "budget": 20, "seed": 0,
+        "scale": 1.0, "deployment": "original", "batch_mode": "node",
+        "router": "round-robin", "replicas": 2, "num_requests": 48,
+        "nodes_per_request": 8, "usable_cores": 1,
+        "artifact": {"layout": "mmap", "bytes": 4096},
+        "throughput": {"in_process": dict(side), "socket": dict(side),
+                       "socket_ratio": 1.0},
+        "shedding": {"offered": 96, "served": 40, "shed": 56, "errors": 0,
+                     "max_inflight": 8, "replies_ok": 40,
+                     "replies_shed": 56, "replies_error": 0,
+                     "shed_with_retry_hint": 56, "accounting_exact": True},
+        "autoscale": {"requests": 200, "served": 198, "shed": 2, "lost": 0,
+                      "ramp": {"start_rate": 100.0, "end_rate": 1200.0,
+                               "duration_s": 1.5, "peak_s": 1.5},
+                      "scaled_up": True, "scale_up_reaction_s": 0.4,
+                      "peak_replicas": 2, "max_replicas": 2,
+                      "scaled_down": True, "post_scale_down_probe_ok": True,
+                      "events": []},
+        "parity": {"paths": {"graph": True, "node": True, "frozen": True},
+                   "gateway_bitwise_equal": True},
+    }
+
+
+class TestGatewayBenchContract:
+    def test_schema_accepts_complete_result(self):
+        check_gateway_benchmark_schema(_fake_gateway_result())
+
+    @pytest.mark.parametrize("key", ["throughput", "shedding", "autoscale",
+                                     "parity"])
+    def test_schema_rejects_missing_sections(self, key):
+        result = _fake_gateway_result()
+        del result[key]
+        with pytest.raises(ServingError):
+            check_gateway_benchmark_schema(result)
+
+    def test_schema_rejects_wrong_kind(self):
+        result = _fake_gateway_result()
+        result["kind"] = "fleet-benchmark"
+        with pytest.raises(ServingError):
+            check_gateway_benchmark_schema(result)
+
+    def test_gate_passes_clean_result(self):
+        assert gate_gateway_benchmark(_fake_gateway_result()) == []
+
+    def test_gate_fails_slow_socket(self):
+        result = _fake_gateway_result()
+        result["throughput"]["socket_ratio"] = 0.5
+        assert any("below" in f for f in gate_gateway_benchmark(result))
+        assert gate_gateway_benchmark(result, min_socket_ratio=0.4) == []
+
+    def test_gate_fails_silent_shedding(self):
+        result = _fake_gateway_result()
+        result["shedding"]["shed"] = 0
+        assert any("never shed" in f for f in gate_gateway_benchmark(result))
+
+    def test_gate_fails_inexact_accounting(self):
+        result = _fake_gateway_result()
+        result["shedding"]["accounting_exact"] = False
+        assert any("not exact" in f for f in gate_gateway_benchmark(result))
+
+    def test_gate_fails_missing_retry_hints(self):
+        result = _fake_gateway_result()
+        result["shedding"]["shed_with_retry_hint"] = 0
+        assert any("retry-after" in f for f in gate_gateway_benchmark(result))
+
+    def test_gate_fails_lost_requests(self):
+        result = _fake_gateway_result()
+        result["autoscale"]["lost"] = 3
+        assert any("lost" in f for f in gate_gateway_benchmark(result))
+
+    def test_gate_fails_sleepy_autoscaler(self):
+        result = _fake_gateway_result()
+        result["autoscale"]["scaled_up"] = False
+        assert any("never scaled up" in f
+                   for f in gate_gateway_benchmark(result))
+        result = _fake_gateway_result()
+        result["autoscale"]["scale_up_reaction_s"] = 2.0  # after peak 1.5
+        assert any("after the ramp peak" in f
+                   for f in gate_gateway_benchmark(result))
+        result = _fake_gateway_result()
+        result["autoscale"]["scaled_down"] = False
+        assert any("scaled back down" in f
+                   for f in gate_gateway_benchmark(result))
+        result = _fake_gateway_result()
+        result["autoscale"]["post_scale_down_probe_ok"] = False
+        assert any("probe" in f for f in gate_gateway_benchmark(result))
+
+    def test_gate_fails_broken_parity(self):
+        result = _fake_gateway_result()
+        result["parity"]["gateway_bitwise_equal"] = False
+        assert any("bitwise" in f for f in gate_gateway_benchmark(result))
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestGatewayCli:
+    def test_list_shows_gateway_policies(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gateway shed policies" in out
+        assert "watermark" in out
+        assert "gateway scale policies" in out
+        assert "queue-depth" in out
+
+    def test_bench_schema_accepts_gateway_json(self, capsys, tmp_path):
+        path = tmp_path / "BENCH_gateway.json"
+        write_benchmark_json(_fake_gateway_result(), path)
+        assert main(["bench-schema", str(path)]) == 0
+
+    def test_bench_schema_rejects_drifted_gateway_json(self, capsys,
+                                                       tmp_path):
+        result = _fake_gateway_result()
+        del result["parity"]
+        path = tmp_path / "BENCH_gateway.json"
+        path.write_text(json.dumps(result))
+        assert main(["bench-schema", str(path)]) == 2
+
+    def test_serve_gateway_bad_artifact_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not an artifact")
+        assert main(["serve-gateway", "--artifact", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -98,6 +98,108 @@ class TestBoundedQueue:
             BoundedRequestQueue(overflow="explode")
 
 
+class TestBoundedQueueConcurrency:
+    """Overflow policies under many producer threads (the gateway shape)."""
+
+    PRODUCERS = 8
+    PER_PRODUCER = 25
+
+    def _hammer(self, queue, produce):
+        """Run ``produce(producer_id)`` on every producer thread at once."""
+        import threading
+
+        start = threading.Barrier(self.PRODUCERS)
+        outcomes = [None] * self.PRODUCERS
+
+        def worker(pid):
+            start.wait()
+            outcomes[pid] = produce(pid)
+
+        threads = [threading.Thread(target=worker, args=(pid,))
+                   for pid in range(self.PRODUCERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not any(thread.is_alive() for thread in threads)
+        return outcomes
+
+    def test_block_policy_loses_nothing_under_contention(self):
+        queue = BoundedRequestQueue(capacity=4, overflow="block")
+        consumed = []
+
+        def produce(pid):
+            for i in range(self.PER_PRODUCER):
+                queue.put((pid, i), timeout=20.0)
+            return self.PER_PRODUCER
+
+        import threading
+
+        def consume():
+            while len(consumed) < self.PRODUCERS * self.PER_PRODUCER:
+                item = queue.get(timeout=20.0)
+                if item is None:
+                    return
+                consumed.append(item)
+
+        consumer = threading.Thread(target=consume)
+        consumer.start()
+        self._hammer(queue, produce)
+        consumer.join(timeout=30.0)
+        assert not consumer.is_alive()
+        # every (producer, seq) arrived exactly once, in per-producer order
+        assert len(consumed) == self.PRODUCERS * self.PER_PRODUCER
+        assert len(set(consumed)) == len(consumed)
+        for pid in range(self.PRODUCERS):
+            sequence = [i for p, i in consumed if p == pid]
+            assert sequence == sorted(sequence)
+
+    def test_reject_policy_never_exceeds_capacity(self):
+        capacity = 4
+        queue = BoundedRequestQueue(capacity=capacity, overflow="reject")
+
+        def produce(pid):
+            admitted = 0
+            for i in range(self.PER_PRODUCER):
+                try:
+                    queue.put((pid, i))
+                except QueueFullError:
+                    continue
+                admitted += 1
+                assert len(queue) <= capacity
+            return admitted
+
+        admitted = sum(self._hammer(queue, produce))
+        # accounting stays exact: everything admitted is still there
+        assert admitted == len(queue) <= capacity
+        drained = 0
+        while queue.get_nowait() is not None:
+            drained += 1
+        assert drained == admitted
+
+    def test_drop_oldest_policy_keeps_newest_under_contention(self):
+        capacity = 4
+        queue = BoundedRequestQueue(capacity=capacity, overflow="drop_oldest")
+
+        def produce(pid):
+            evicted = 0
+            for i in range(self.PER_PRODUCER):
+                evicted += queue.put((pid, i)) is not None
+            return evicted
+
+        evicted = sum(self._hammer(queue, produce))
+        survivors = []
+        while (item := queue.get_nowait()) is not None:
+            survivors.append(item)
+        # puts never block or fail; every item was either evicted or kept
+        assert len(survivors) == capacity
+        total = self.PRODUCERS * self.PER_PRODUCER
+        assert evicted + len(survivors) == total
+        # the queue kept late arrivals, not the opening burst
+        assert all(i >= self.PER_PRODUCER - capacity
+                   for _, i in survivors)
+
+
 # ----------------------------------------------------------------------
 # Schedulers
 # ----------------------------------------------------------------------
