@@ -18,7 +18,7 @@ from repro.condense import MCondConfig, MCondReducer
 from repro.graph import load_dataset, symmetric_normalize
 from repro.inference import InductiveServer
 from repro.nn import TrainConfig, make_model, train_node_classifier
-from repro.utils import Stopwatch, format_seconds
+from repro.telemetry import Stopwatch, format_seconds
 
 GRID = [(k_hops, lr) for k_hops in (1, 2, 3) for lr in (0.01, 0.05, 0.2)]
 

@@ -479,7 +479,9 @@ def open_stream(bundle: DeploymentBundle | str | Path, *,
 
 def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
                router: str = "round-robin", batch_mode: str = "node",
-               mmap: bool = True, start_method: str | None = None):
+               mmap: bool = True, start_method: str | None = None,
+               telemetry: bool = True,
+               slow_trace_ms: float | None = None):
     """Open a multi-replica :class:`~repro.serving.fleet.ServingFleet`.
 
     ``bundle`` is normally a path to a saved artifact — each replica
@@ -510,7 +512,8 @@ def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
     try:
         fleet = ServingFleet(artifact, replicas, router=router,
                              batch_mode=batch_mode, mmap=mmap,
-                             start_method=start_method)
+                             start_method=start_method, telemetry=telemetry,
+                             slow_trace_ms=slow_trace_ms)
     except Exception:
         if owns:
             artifact.unlink(missing_ok=True)
@@ -529,7 +532,9 @@ def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
                  shed_options: dict | None = None,
                  scale_options: dict | None = None,
                  autoscale_interval: float = 0.25,
-                 scale_cooldown: float = 2.0, start: bool = True):
+                 scale_cooldown: float = 2.0, start: bool = True,
+                 telemetry: bool = True,
+                 slow_trace_ms: float | None = None):
     """Open a network :class:`~repro.serving.gateway.ServingGateway`.
 
     Builds a fleet exactly like :func:`open_fleet` and puts the TCP
@@ -561,13 +566,15 @@ def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
              if isinstance(scale_policy, str) else scale_policy)
     fleet = open_fleet(bundle, replicas, router=router,
                        batch_mode=batch_mode, mmap=mmap,
-                       start_method=start_method)
+                       start_method=start_method, telemetry=telemetry,
+                       slow_trace_ms=slow_trace_ms)
     try:
         gateway = ServingGateway(
             fleet, host=host, port=port, shed_policy=shed,
             max_inflight=max_inflight, scale_policy=scale,
             autoscale_interval=autoscale_interval,
-            scale_cooldown=scale_cooldown, owns_fleet=True)
+            scale_cooldown=scale_cooldown, owns_fleet=True,
+            telemetry=telemetry, slow_trace_ms=slow_trace_ms)
         if start:
             gateway.start()
     except Exception:

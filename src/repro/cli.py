@@ -304,11 +304,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="load the artifact eagerly in every replica "
                               "instead of memory-mapping it")
 
+    top = sub.add_parser(
+        "top",
+        help="poll a live gateway's GET /metrics and print a per-stage "
+             "latency table (count, mean, p50, p95) plus the request "
+             "counters — a terminal 'top' for the serving fleet")
+    top.add_argument("--host", default="127.0.0.1",
+                     help="gateway HTTP host (default: 127.0.0.1)")
+    top.add_argument("--port", type=int, required=True,
+                     help="gateway HTTP port (see serve-gateway --port-file)")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between polls (default: 1.0)")
+    top.add_argument("--iterations", type=int, default=1,
+                     help="polls before exiting; 0 polls forever "
+                          "(default: 1)")
+
     bench_gateway = sub.add_parser(
         "bench-gateway",
         help="run the network-gateway benchmark (socket vs in-process "
-             "throughput, shed accounting, autoscale reaction, parity) "
-             "and write BENCH_gateway.json")
+             "throughput, shed accounting, autoscale reaction, parity, "
+             "telemetry overhead) and write BENCH_gateway.json")
     _add_common(bench_gateway)
     bench_gateway.add_argument("--method", default="mcond",
                                help="reduction method registry key "
@@ -348,12 +363,19 @@ def build_parser() -> argparse.ArgumentParser:
                                     "keeps --min-socket-ratio of in-process, "
                                     "shed accounting is exact, the "
                                     "autoscaler reacts before the ramp "
-                                    "peak with zero lost requests, and "
+                                    "peak with zero lost requests, "
                                     "gateway responses match direct "
-                                    "serving bitwise")
+                                    "serving bitwise, and telemetry keeps "
+                                    "--min-telemetry-ratio of the "
+                                    "uninstrumented rate")
     bench_gateway.add_argument("--min-socket-ratio", type=float, default=0.7,
                                help="socket/in-process throughput ratio "
                                     "the --gate requires (default: 0.7)")
+    bench_gateway.add_argument("--min-telemetry-ratio", type=float,
+                               default=0.97,
+                               help="instrumented/uninstrumented throughput "
+                                    "ratio the --gate requires "
+                                    "(default: 0.97)")
 
     bench_fleet = sub.add_parser(
         "bench-fleet",
@@ -500,6 +522,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.set_defaults(handler=_cmd_serve_stream)
     fleet.set_defaults(handler=_cmd_serve_fleet)
     gateway.set_defaults(handler=_cmd_serve_gateway)
+    top.set_defaults(handler=_cmd_top)
     bench_gateway.set_defaults(handler=_cmd_bench_gateway)
     bench.set_defaults(handler=_cmd_bench)
     bench_condense.set_defaults(handler=_cmd_bench_condense)
@@ -776,6 +799,85 @@ def _cmd_serve_gateway(args) -> int:
     return 0
 
 
+def _fmt_quantile_ms(value: float | None) -> str:
+    return f"{value * 1e3:10.3f}" if value is not None else f"{'n/a':>10}"
+
+
+def _print_metrics_page(samples: dict) -> None:
+    """Render one parsed /metrics scrape as the ``repro top`` screen."""
+    outcomes = {labels.get("outcome", ""): value for labels, value
+                in samples.get("repro_gateway_requests_total", [])}
+
+    def gauge(name: str) -> float:
+        rows = samples.get(name, [])
+        return rows[0][1] if rows else 0.0
+
+    print(f"gateway   offered {outcomes.get('offered', 0):.0f}  "
+          f"served {outcomes.get('served', 0):.0f}  "
+          f"shed {outcomes.get('shed', 0):.0f}  "
+          f"errors {outcomes.get('error', 0):.0f}  "
+          f"inflight {gauge('repro_gateway_inflight'):.0f}")
+    print(f"fleet     replicas {gauge('repro_fleet_replicas'):.0f}  "
+          f"queue depth {gauge('repro_fleet_queue_depth'):.0f}")
+    buckets: dict[tuple[str, str], list[tuple[float, float]]] = {}
+    sums: dict[tuple[str, str], float] = {}
+    counts: dict[tuple[str, str], float] = {}
+    stage_key = "repro_stage_latency_seconds"
+    for labels, value in samples.get(f"{stage_key}_bucket", []):
+        key = (labels.get("component", ""), labels.get("stage", ""))
+        buckets.setdefault(key, []).append((float(labels["le"]), value))
+    for labels, value in samples.get(f"{stage_key}_sum", []):
+        sums[(labels.get("component", ""), labels.get("stage", ""))] = value
+    for labels, value in samples.get(f"{stage_key}_count", []):
+        counts[(labels.get("component", ""), labels.get("stage", ""))] = value
+    if not counts:
+        print("stages    (no per-stage latency recorded yet)")
+        return
+    from repro.telemetry import histogram_quantile
+
+    print(f"{'component':<10}{'stage':<16}{'count':>8}{'mean ms':>10}"
+          f"{'p50 ms':>10}{'p95 ms':>10}")
+    for key in sorted(counts):
+        count = counts[key]
+        mean_ms = sums.get(key, 0.0) / count * 1e3 if count else 0.0
+        p50 = histogram_quantile(buckets.get(key, []), 0.5)
+        p95 = histogram_quantile(buckets.get(key, []), 0.95)
+        print(f"{key[0]:<10}{key[1]:<16}{count:8.0f}{mean_ms:10.3f}"
+              f"{_fmt_quantile_ms(p50)}{_fmt_quantile_ms(p95)}")
+
+
+def _cmd_top(args) -> int:
+    import http.client
+    import time
+
+    from repro.telemetry import parse_exposition
+
+    iteration = 0
+    while True:
+        conn = http.client.HTTPConnection(args.host, args.port, timeout=5.0)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+            status = response.status
+        except (OSError, http.client.HTTPException) as error:
+            print(f"error: cannot scrape {args.host}:{args.port}: {error}",
+                  file=sys.stderr)
+            return 2
+        finally:
+            conn.close()
+        if status != 200:
+            print(f"error: GET /metrics returned {status}", file=sys.stderr)
+            return 2
+        if iteration:
+            print()
+        _print_metrics_page(parse_exposition(body))
+        iteration += 1
+        if args.iterations and iteration >= args.iterations:
+            return 0
+        time.sleep(args.interval)
+
+
 def _cmd_bench_gateway(args) -> int:
     from repro.serving import (
         check_gateway_benchmark_schema,
@@ -819,10 +921,20 @@ def _cmd_bench_gateway(args) -> int:
     print(f"parity         "
           f"{'ok' if result['parity']['gateway_bitwise_equal'] else 'BROKEN'}"
           f" {result['parity']['paths']}")
+    telemetry = result["telemetry"]
+    trace_part = ("all stages" if telemetry["slowest_has_all_stages"]
+                  else "MISSING STAGES")
+    print(f"telemetry      instrumented "
+          f"{telemetry['instrumented_rps']:.0f} req/s vs bare "
+          f"{telemetry['uninstrumented_rps']:.0f} req/s "
+          f"({telemetry['overhead_ratio']:.2f}x), logits "
+          f"{'equal' if telemetry['parity_bitwise_equal'] else 'DIFFER'}, "
+          f"slowest trace {trace_part}")
     print(f"wrote {path}")
     if args.gate:
         failures = gate_gateway_benchmark(
-            result, min_socket_ratio=args.min_socket_ratio)
+            result, min_socket_ratio=args.min_socket_ratio,
+            min_telemetry_ratio=args.min_telemetry_ratio)
         if failures:
             for failure in failures:
                 print(f"perf gate: {failure}", file=sys.stderr)

@@ -23,9 +23,15 @@ for.  The pieces:
   protocol (JSON or binary payloads) and the stdlib-socket client;
 - :mod:`~repro.serving.gateway` — the asyncio TCP/HTTP front door:
   admission control with load shedding, queue-driven replica
-  autoscaling;
+  autoscaling, and the Prometheus-scrapeable ``GET /metrics`` page;
 - :mod:`~repro.serving.gateway_bench` — the ``repro bench-gateway``
-  socket-throughput / shed-accounting / autoscale-reaction benchmark.
+  socket-throughput / shed-accounting / autoscale-reaction /
+  telemetry-overhead benchmark.
+
+Every layer reports into :mod:`repro.telemetry`: registry-backed
+counters/gauges, the shared ``repro_stage_latency_seconds`` histogram,
+and per-request :class:`~repro.telemetry.TraceContext` stage spans
+(see README "Observability").
 
 Entry points: ``repro.api.open_runtime(bundle)`` for a frozen deployment,
 ``repro.api.open_stream(bundle)`` for one that ingests

@@ -48,6 +48,12 @@ from repro.inference.benchmark import latency_percentiles
 from repro.registry import make_router, register_router
 from repro.serving.runtime import ServingFuture
 from repro.serving.stats import RequestRecord
+from repro.telemetry import (
+    MetricsRegistry,
+    TraceContext,
+    TraceLog,
+    use_trace,
+)
 
 __all__ = ["ServingFleet", "ReplicaPool", "FleetFuture", "Router",
            "RoundRobinRouter", "LeastLoadedRouter", "ConsistentHashRouter",
@@ -193,12 +199,24 @@ def _replica_worker(replica_id: int, generation: int, artifact: str,
         message = inbox.get()
         if message[0] == "stop":
             return
-        _, request_id, batch, mode, frozen = message
+        _, request_id, batch, mode, frozen, traced = message
+        # dequeue timestamp: perf_counter is CLOCK_MONOTONIC on Linux, so
+        # the parent can subtract its own submit stamp to get the true
+        # dispatch (IPC + inbox wait) span for this request
+        t_start = time.perf_counter()
         try:
             serve = prepared.serve_batch_frozen if frozen else prepared.serve_batch
-            logits, seconds, _ = serve(batch, mode or batch_mode)
+            if traced:
+                trace = TraceContext(trace_id=f"replica-{request_id}")
+                with use_trace(trace):
+                    logits, seconds, _ = serve(batch, mode or batch_mode)
+                spans = tuple((span.stage, span.seconds)
+                              for span in trace.spans)
+            else:
+                logits, seconds, _ = serve(batch, mode or batch_mode)
+                spans = ()
             outbox.put(("done", replica_id, generation, request_id,
-                        logits, seconds))
+                        logits, seconds, t_start, spans))
         except Exception as error:  # noqa: BLE001 — forwarded to the future
             outbox.put(("error", replica_id, generation, request_id,
                         f"{type(error).__name__}: {error}"))
@@ -219,6 +237,9 @@ class FleetFuture(ServingFuture):
         super().__init__()
         self.replica_id: int | None = None
         self.attempts: int = 0
+        #: The request's :class:`~repro.telemetry.TraceContext` (``None``
+        #: with telemetry off) — complete once the future resolves.
+        self.trace: TraceContext | None = None
 
 
 @dataclass
@@ -234,6 +255,8 @@ class _Pending:
     frozen: bool = False  # serve via the cached-propagation fast path
     replica_id: int | None = None
     attempts: int = 0
+    trace: TraceContext | None = None
+    owns_trace: bool = False  # fleet (not a gateway) finishes + logs it
 
 
 @dataclass
@@ -404,6 +427,19 @@ class ServingFleet:
     max_retries:
         Dispatch attempts per request before its future fails (failover
         re-routes count against this).
+    telemetry:
+        Stamp a :class:`~repro.telemetry.TraceContext` on every request
+        (per-stage spans, slow-request ring) and feed the per-stage
+        latency histograms.  Off, only the exact volume counters and the
+        wall-latency window remain — the uninstrumented baseline the
+        telemetry-overhead gate compares against.
+    metrics:
+        A :class:`~repro.telemetry.MetricsRegistry` to report into
+        (default: a private one, exposed as ``fleet.metrics``).
+    slow_trace_ms:
+        Threshold for the structured slow-request log line (``None``
+        disables logging; the ring still retains traces for
+        ``slowest``).
     """
 
     _POLL_SECONDS = 0.02
@@ -413,7 +449,10 @@ class ServingFleet:
                  batch_mode: str = "node", mmap: bool = True,
                  start_method: str | None = None, max_retries: int = 3,
                  start_timeout: float = 120.0,
-                 latency_window: int = 4096) -> None:
+                 latency_window: int = 4096, telemetry: bool = True,
+                 metrics: MetricsRegistry | None = None,
+                 trace_capacity: int = 256,
+                 slow_trace_ms: float | None = None) -> None:
         if batch_mode not in ("graph", "node"):
             raise ServingError(
                 f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
@@ -431,9 +470,37 @@ class ServingFleet:
         #: Set by ``api.open_fleet`` when it persisted a temp artifact for
         #: an in-memory bundle; ``close`` then removes the file.
         self.owns_artifact = False
-        self.completed = 0
-        self.failed = 0
-        self.rerouted = 0
+        self.telemetry = bool(telemetry)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_log = TraceLog(capacity=trace_capacity,
+                                  slow_ms=slow_trace_ms)
+        # the volume counters are registry-backed (and exact regardless
+        # of the telemetry flag); completed/failed/rerouted read them back
+        self._requests_total = self.metrics.counter(
+            "repro_fleet_requests_total",
+            "Requests resolved by the fleet, by terminal outcome.",
+            ("outcome",))
+        self._replica_served = self.metrics.counter(
+            "repro_fleet_replica_served_total",
+            "Requests served, per replica slot.", ("replica",))
+        self._replica_died = self.metrics.counter(
+            "repro_fleet_replica_died_total",
+            "Unannounced replica process deaths, per slot.", ("replica",))
+        self._replica_respawned = self.metrics.counter(
+            "repro_fleet_replica_respawned_total",
+            "Replica process respawns (failover or swap), per slot.",
+            ("replica",))
+        self.metrics.gauge(
+            "repro_fleet_queue_depth",
+            "Requests admitted by the fleet but not yet resolved.",
+            callback=self.queue_depth)
+        self.metrics.gauge(
+            "repro_fleet_replicas", "Replica slots in the pool.",
+            callback=lambda: self.pool.size)
+        self._stage_latency = self.metrics.histogram(
+            "repro_stage_latency_seconds",
+            "Per-stage request latency across the serving layers.",
+            ("component", "stage"))
         self.pool = ReplicaPool(artifact, replicas, mmap=mmap,
                                 batch_mode=batch_mode,
                                 start_method=start_method)
@@ -446,6 +513,26 @@ class ServingFleet:
         self._collector.start()
         self._monitor.start()
         self.wait_ready(timeout=start_timeout)
+
+    # ------------------------------------------------------------------
+    # Registry-backed accounting (the ints these replaced read back the
+    # counter families, so stats()'s dict shape is unchanged)
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return int(self._requests_total.value(outcome="completed"))
+
+    @property
+    def failed(self) -> int:
+        return int(self._requests_total.value(outcome="failed"))
+
+    @property
+    def rerouted(self) -> int:
+        return int(self._requests_total.value(outcome="rerouted"))
+
+    def slowest(self, n: int = 10) -> list[TraceContext]:
+        """The ``n`` slowest fleet-owned traces, slowest first."""
+        return self.trace_log.slowest(n)
 
     # ------------------------------------------------------------------
     # Admission and dispatch
@@ -484,15 +571,28 @@ class ServingFleet:
 
     def submit_batch(self, batch: IncrementalBatch, *,
                      key: str | None = None, mode: str | None = None,
-                     frozen: bool = False) -> FleetFuture:
-        """Admit a pre-assembled :class:`IncrementalBatch` as one request."""
+                     frozen: bool = False,
+                     trace: TraceContext | None = None) -> FleetFuture:
+        """Admit a pre-assembled :class:`IncrementalBatch` as one request.
+
+        A caller that already opened a trace (the gateway) passes it via
+        ``trace`` and stays responsible for finishing it; otherwise the
+        fleet stamps its own (when ``telemetry`` is on) and completes it
+        into its slow-request ring.
+        """
         if mode is not None and mode not in ("graph", "node"):
             raise ServingError(
                 f"mode must be 'graph' or 'node', got {mode!r}")
+        owns_trace = False
+        if trace is None and self.telemetry:
+            trace = TraceContext(labels={"mode": mode or self.batch_mode})
+            owns_trace = True
         entry = _Pending(request_id=next(self._request_ids), batch=batch,
                          key=key, future=FleetFuture(),
                          submitted_at=time.perf_counter(),
-                         mode=mode, frozen=bool(frozen))
+                         mode=mode, frozen=bool(frozen),
+                         trace=trace, owns_trace=owns_trace)
+        entry.future.trace = trace
         with self._lock:
             # checked under the lock: close() sweeps _pending under it,
             # so a request can never slip in after the sweep and hang
@@ -540,12 +640,13 @@ class ServingFleet:
         entry.attempts += 1
         replica.inflight.add(entry.request_id)
         replica.inbox.put(("serve", entry.request_id, entry.batch,
-                           entry.mode, entry.frozen))
+                           entry.mode, entry.frozen,
+                           self.telemetry and entry.trace is not None))
 
     def _fail_entry(self, entry: _Pending, error: ServingError) -> None:
         """Terminal failure of one request (caller holds the lock)."""
         self._pending.pop(entry.request_id, None)
-        self.failed += 1
+        self._requests_total.inc(outcome="failed")
         entry.future._fail(error)
 
     def _redispatch_orphans(self) -> None:
@@ -590,11 +691,35 @@ class ServingFleet:
                     return  # already failed, or resolved by a re-route
                 if kind == "done":
                     logits, compute_seconds = message[4], message[5]
+                    t_start, worker_spans = message[6], message[7]
                     wall = time.perf_counter() - entry.submitted_at
                     self._latencies.append(wall)
-                    self.completed += 1
+                    self._requests_total.inc(outcome="completed")
                     if current:
                         replica.served += 1
+                        self._replica_served.inc(replica=str(replica_id))
+                    # the worker's dequeue stamp splits the wall time into
+                    # the canonical fleet stages (clamped: perf_counter is
+                    # shared-monotonic, but paranoia is free)
+                    dispatch = max(t_start - entry.submitted_at, 0.0)
+                    collect = max(wall - dispatch - compute_seconds, 0.0)
+                    if self.telemetry:
+                        self._stage_latency.observe(
+                            dispatch, component="fleet", stage="dispatch")
+                        self._stage_latency.observe(
+                            compute_seconds, component="fleet", stage="serve")
+                        self._stage_latency.observe(
+                            collect, component="fleet", stage="collect")
+                    if entry.trace is not None:
+                        trace = entry.trace
+                        trace.labels.setdefault("replica", str(replica_id))
+                        trace.add_stage("dispatch", dispatch)
+                        trace.add_stage("serve", compute_seconds)
+                        for stage, seconds in worker_spans:
+                            trace.add_stage(f"serve.{stage}", seconds)
+                        trace.add_stage("collect", collect)
+                        if entry.owns_trace:
+                            self.trace_log.observe(trace)
                     entry.future.replica_id = replica_id
                     entry.future.attempts = entry.attempts
                     entry.future._resolve(logits, RequestRecord(
@@ -602,7 +727,7 @@ class ServingFleet:
                         queue_seconds=max(wall - compute_seconds, 0.0),
                         compute_seconds=compute_seconds, batch_size=1))
                 else:
-                    self.failed += 1
+                    self._requests_total.inc(outcome="failed")
                     entry.future.replica_id = replica_id
                     entry.future.attempts = entry.attempts
                     entry.future._fail(ServingError(
@@ -630,6 +755,7 @@ class ServingFleet:
         """A replica died unannounced: re-route its work, refill the slot."""
         failed_start = replica.state == "starting"
         replica.state = "dead"
+        self._replica_died.inc(replica=str(replica.replica_id))
         self.pool._discard_inbox(replica)
         stranded = [self._pending[rid] for rid in sorted(replica.inflight)
                     if rid in self._pending]
@@ -638,8 +764,9 @@ class ServingFleet:
             replica.spawn_failures += 1
         if replica.spawn_failures <= self.pool.max_spawn_retries:
             self.pool.respawn(replica.replica_id)
+            self._replica_respawned.inc(replica=str(replica.replica_id))
         for entry in stranded:
-            self.rerouted += 1
+            self._requests_total.inc(outcome="rerouted")
             self._dispatch(entry)
 
     def wait_ready(self, timeout: float = 120.0) -> None:
@@ -695,6 +822,7 @@ class ServingFleet:
                 replica = self.pool.replicas[replica_id]
                 self.pool.stop_replica(replica)
                 self.pool.respawn(replica_id, artifact=artifact)
+                self._replica_respawned.inc(replica=str(replica_id))
             self._wait_slot_ready(replica_id, drain_timeout)
         self.pool.artifact = artifact
 
@@ -810,19 +938,26 @@ class ServingFleet:
         """Drop the recorded wall latencies (e.g. after cache warm-up),
         so :meth:`stats` percentiles reflect steady-state serving only.
 
-        The latency window and the volume counters reset independently:
-        by default the completed/failed/rerouted totals (and per-replica
-        served counts) survive, so excluding warm-up traffic from the
-        percentiles does not erase the request accounting the shed/scale
-        gates audit.  Pass ``counters=True`` to zero those too (a full
+        Everything latency-shaped resets together: the wall-latency
+        window, the per-stage histograms, and the slow-request trace
+        ring — they are three views of the same measurement epoch.
+        In-flight requests keep their (already-stamped) traces and simply
+        complete into the fresh window.
+
+        The volume counters reset independently: by default the
+        completed/failed/rerouted totals (and per-replica served counts)
+        survive, so excluding warm-up traffic from the percentiles does
+        not erase the request accounting the shed/scale gates audit.
+        Pass ``counters=True`` to zero those too (a full
         measurement-epoch reset, e.g. between benchmark phases).
         """
         with self._lock:
             self._latencies.clear()
+            self.trace_log.clear()
+            self._stage_latency.clear()
             if counters:
-                self.completed = 0
-                self.failed = 0
-                self.rerouted = 0
+                self._requests_total.clear()
+                self._replica_served.clear()
                 for replica in self.pool.replicas.values():
                     replica.served = 0
 
@@ -873,7 +1008,7 @@ class ServingFleet:
             self._pending.clear()
             self._orphans.clear()
             for entry in stranded:
-                self.failed += 1
+                self._requests_total.inc(outcome="failed")
                 entry.future._fail(ServingError(
                     "fleet closed before the request completed"))
             self.pool.stop_all()

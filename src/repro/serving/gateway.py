@@ -24,10 +24,12 @@ The event loop thread only does protocol work; serving happens in the
 fleet's replica processes.  Completions hop back onto the loop via
 :meth:`ServingFuture.add_done_callback` +
 ``loop.call_soon_threadsafe`` — no waiter thread per in-flight request.
-Plain HTTP ``GET /healthz`` and ``GET /stats`` are answered too (the
-first bytes disambiguate: framed requests start with the protocol
-magic), so a load balancer can probe the gateway without speaking the
-framed protocol.
+Plain HTTP ``GET /healthz``, ``GET /stats``, and ``GET /metrics``
+(Prometheus text exposition over the gateway's and the fleet's
+registries) are answered too (the first bytes disambiguate: framed
+requests start with the protocol magic), so a load balancer or a
+Prometheus scraper can probe the gateway without speaking the framed
+protocol.
 """
 
 from __future__ import annotations
@@ -44,6 +46,12 @@ from repro.serving import protocol
 from repro.serving.fleet import ServingFleet
 from repro.serving.queue import (BoundedRequestQueue, QueueClosedError,
                                  QueueFullError)
+from repro.telemetry import (
+    MetricsRegistry,
+    TraceContext,
+    TraceLog,
+    render_exposition,
+)
 
 __all__ = ["ServingGateway", "ShedPolicy", "AdmitAllShed", "WatermarkShed",
            "ScalePolicy", "PinnedScale", "QueueDepthScale"]
@@ -64,6 +72,11 @@ class ShedPolicy:
 
     def admit(self, *, queue_depth: int, capacity: int) -> float | None:
         raise NotImplementedError
+
+    def state(self) -> dict:
+        """JSON-ready view of the policy's internal state (for
+        ``GET /stats``); stateless policies report ``{}``."""
+        return {}
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
@@ -116,6 +129,10 @@ class WatermarkShed(ShedPolicy):
         if not self._shedding:
             return None
         return self.retry_after_ms * max(1.0, fill / self.high)
+
+    def state(self) -> dict:
+        return {"shedding": self._shedding, "high": self.high,
+                "low": self.low}
 
     def __repr__(self) -> str:
         return (f"WatermarkShed(high={self.high}, low={self.low}, "
@@ -284,6 +301,20 @@ class ServingGateway:
     owns_fleet:
         When set (``api.open_gateway``), :meth:`close` also closes the
         fleet.
+    telemetry:
+        Stamp a :class:`~repro.telemetry.TraceContext` on every admitted
+        request (per-stage spans through the fleet, slow-request ring,
+        stage breakdown echoed on the reply frame) and feed the
+        per-stage histograms.  The exact offered/served/shed/errors
+        counters report either way.
+    metrics:
+        A :class:`~repro.telemetry.MetricsRegistry` to report into
+        (default: a private one, exposed as ``gateway.metrics``);
+        ``GET /metrics`` merges it with the fleet's.
+    slow_trace_ms:
+        Threshold for the structured slow-request log line (``None``
+        disables logging; the ring still retains traces for
+        :meth:`slowest`).
     """
 
     def __init__(self, fleet: ServingFleet, *, host: str = "127.0.0.1",
@@ -292,7 +323,10 @@ class ServingGateway:
                  scale_policy: ScalePolicy | str | None = None,
                  autoscale_interval: float = 0.25,
                  scale_cooldown: float = 2.0,
-                 owns_fleet: bool = False) -> None:
+                 owns_fleet: bool = False, telemetry: bool = True,
+                 metrics: MetricsRegistry | None = None,
+                 trace_capacity: int = 256,
+                 slow_trace_ms: float | None = None) -> None:
         if max_inflight <= 0:
             raise ServingError(
                 f"max_inflight must be positive, got {max_inflight}")
@@ -322,11 +356,41 @@ class ServingGateway:
         #: the hard backstop behind the soft shed policy
         self._admission = BoundedRequestQueue(capacity=max_inflight,
                                               overflow="reject")
-        # counters live on the event-loop thread; other threads only read
-        self.offered = 0
-        self.served = 0
-        self.shed = 0
-        self.errors = 0
+        self.telemetry = bool(telemetry)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_log = TraceLog(capacity=trace_capacity,
+                                  slow_ms=slow_trace_ms)
+        # registry-backed counters, written on the event-loop thread only;
+        # offered/served/shed/errors read them back (dict shape unchanged)
+        self._requests_total = self.metrics.counter(
+            "repro_gateway_requests_total",
+            "Serve frames handled by the gateway, by outcome "
+            "(offered counts every frame; served/shed/error are terminal).",
+            ("outcome",))
+        self._shed_detail = self.metrics.counter(
+            "repro_gateway_shed_total",
+            "Requests shed, by deciding policy (the configured shed "
+            "policy, 'draining', or the hard 'capacity' backstop).",
+            ("policy",))
+        self._scale_events_total = self.metrics.counter(
+            "repro_gateway_scale_events_total",
+            "Autoscaler actions applied, by direction.", ("action",))
+        self.metrics.gauge(
+            "repro_gateway_inflight",
+            "Requests admitted but not yet answered.",
+            callback=lambda: len(self._admission))
+        self.metrics.gauge(
+            "repro_gateway_max_inflight",
+            "Hard ceiling of the admission queue.",
+            callback=lambda: self.max_inflight)
+        self.metrics.gauge(
+            "repro_gateway_draining",
+            "1 while the gateway sheds all new work for shutdown.",
+            callback=lambda: float(self._draining))
+        self._stage_latency = self.metrics.histogram(
+            "repro_stage_latency_seconds",
+            "Per-stage request latency across the serving layers.",
+            ("component", "stage"))
         #: scaling actions: {"t_s", "action", "from", "to", "queue_depth",
         #: "p95_ms"} — the benchmark reads reaction times off this
         self.scale_events: list[dict] = []
@@ -339,6 +403,30 @@ class ServingGateway:
         self._draining = False
         self._started_at: float | None = None
         self._last_scale = float("-inf")
+
+    # ------------------------------------------------------------------
+    # Registry-backed accounting (the ints these replaced read back the
+    # counter family, so stats()'s dict shape is unchanged)
+    # ------------------------------------------------------------------
+    @property
+    def offered(self) -> int:
+        return int(self._requests_total.value(outcome="offered"))
+
+    @property
+    def served(self) -> int:
+        return int(self._requests_total.value(outcome="served"))
+
+    @property
+    def shed(self) -> int:
+        return int(self._requests_total.value(outcome="shed"))
+
+    @property
+    def errors(self) -> int:
+        return int(self._requests_total.value(outcome="error"))
+
+    def slowest(self, n: int = 10) -> list[TraceContext]:
+        """The ``n`` slowest completed traces, slowest first."""
+        return self.trace_log.slowest(n)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -526,18 +614,19 @@ class ServingGateway:
 
     def _handle_serve(self, connection: _Connection, header: dict,
                       payload: bytes) -> None:
-        self.offered += 1
+        admitted_at = time.perf_counter()
+        self._requests_total.inc(outcome="offered")
         try:
             request = protocol.decode_serve_request(header, payload)
         except protocol.ProtocolError as error:
-            self.errors += 1
+            self._requests_total.inc(outcome="error")
             connection.outbox.put_nowait(protocol.encode_reply(
                 header.get("id") if isinstance(header.get("id"), int)
                 else None, "error", error=str(error)))
             return
         if self._draining:
             self._shed_reply(connection, request, "gateway is draining",
-                             retry_after_ms=None)
+                             retry_after_ms=None, policy="draining")
             return
         hint = self.shed_policy.admit(queue_depth=len(self._admission),
                                       capacity=self.max_inflight)
@@ -546,21 +635,34 @@ class ServingGateway:
                 connection, request,
                 f"shed by {self.shed_policy.name} policy "
                 f"({len(self._admission)}/{self.max_inflight} in flight)",
-                retry_after_ms=hint)
+                retry_after_ms=hint, policy=self.shed_policy.name)
             return
         try:
             self._admission.put(request.request_id)
         except (QueueFullError, QueueClosedError) as error:
             self._shed_reply(connection, request, str(error),
-                             retry_after_ms=self._fallback_retry_ms())
+                             retry_after_ms=self._fallback_retry_ms(),
+                             policy="capacity")
             return
+        trace = None
+        if self.telemetry:
+            # the admission span covers decode + shed decision + the
+            # queue token; the fleet adds dispatch/serve/collect, and
+            # _complete closes with the reply span
+            trace = TraceContext(
+                trace_id=request.trace_id,
+                labels={"mode": request.mode or self.fleet.batch_mode})
+            admission = time.perf_counter() - admitted_at
+            trace.add_stage("admission", admission)
+            self._stage_latency.observe(
+                admission, component="gateway", stage="admission")
         try:
             future = self.fleet.submit_batch(
                 request.batch, key=request.key, mode=request.mode,
-                frozen=request.frozen)
+                frozen=request.frozen, trace=trace)
         except ServingError as error:
             self._admission.get_nowait()
-            self.errors += 1
+            self._requests_total.inc(outcome="error")
             connection.outbox.put_nowait(protocol.encode_reply(
                 request.request_id, "error", error=str(error)))
             return
@@ -570,8 +672,10 @@ class ServingGateway:
 
     def _shed_reply(self, connection: _Connection,
                     request: "protocol.ServeRequest", reason: str,
-                    retry_after_ms: float | None) -> None:
-        self.shed += 1
+                    retry_after_ms: float | None,
+                    policy: str = "unknown") -> None:
+        self._requests_total.inc(outcome="shed")
+        self._shed_detail.inc(policy=policy)
         connection.outbox.put_nowait(protocol.encode_reply(
             request.request_id, "shed", error=reason,
             retry_after_ms=retry_after_ms))
@@ -585,22 +689,43 @@ class ServingGateway:
                   request: "protocol.ServeRequest", future) -> None:
         """A fleet future resolved — encode and enqueue the reply."""
         self._admission.get_nowait()
+        trace = getattr(future, "trace", None)
         try:
             logits = future.result(timeout=0)
         except ServingError as error:
-            self.errors += 1
+            self._requests_total.inc(outcome="error")
             connection.outbox.put_nowait(protocol.encode_reply(
                 request.request_id, "error", error=str(error),
                 replica_id=future.replica_id, attempts=future.attempts))
+            if trace is not None:
+                self.trace_log.observe(trace)
             return
         record = future.record
-        self.served += 1
+        self._requests_total.inc(outcome="served")
+        trace_id = None
+        stages_ms = None
+        reply_started = time.perf_counter()
+        if trace is not None:
+            # the wire breakdown carries the stages known before the
+            # reply is encoded; the reply span itself lands in the
+            # histogram and the retained trace
+            trace_id = trace.trace_id
+            stages_ms = {stage: seconds * 1e3
+                         for stage, seconds in trace.stages().items()}
         connection.outbox.put_nowait(protocol.encode_reply(
             request.request_id, "ok", logits=logits,
             replica_id=future.replica_id, attempts=future.attempts,
             compute_ms=None if record is None
             else record.compute_seconds * 1e3,
-            encoding=request.encoding))
+            encoding=request.encoding,
+            trace_id=trace_id, stages=stages_ms))
+        if trace is not None:
+            reply = time.perf_counter() - reply_started
+            trace.add_stage("reply", reply)
+            self._stage_latency.observe(
+                reply, component="gateway", stage="reply")
+            trace.finish()
+            self.trace_log.observe(trace)
 
     # ------------------------------------------------------------------
     # HTTP probes
@@ -616,17 +741,24 @@ class ServingGateway:
         request_line = (first + rest).split(b"\r\n", 1)[0]
         parts = request_line.decode("latin-1", "replace").split()
         path = parts[1] if len(parts) >= 2 else "/"
-        if path in ("/healthz", "/health"):
-            status, body = "200 OK", {
-                "status": "draining" if self._draining else "ok",
-                "replicas": self.fleet.num_replicas}
-        elif path == "/stats":
-            status, body = "200 OK", self.stats()
+        content_type = "application/json"
+        if path == "/metrics":
+            status = "200 OK"
+            raw = self.render_metrics().encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
         else:
-            status, body = "404 Not Found", {"error": f"no route {path!r}"}
-        raw = json.dumps(body).encode("utf-8")
+            if path in ("/healthz", "/health"):
+                status, body = "200 OK", {
+                    "status": "draining" if self._draining else "ok",
+                    "replicas": self.fleet.num_replicas}
+            elif path == "/stats":
+                status, body = "200 OK", self.stats()
+            else:
+                status, body = ("404 Not Found",
+                                {"error": f"no route {path!r}"})
+            raw = json.dumps(body).encode("utf-8")
         writer.write((f"HTTP/1.1 {status}\r\n"
-                      "Content-Type: application/json\r\n"
+                      f"Content-Type: {content_type}\r\n"
                       f"Content-Length: {len(raw)}\r\n"
                       "Connection: close\r\n\r\n").encode("latin-1") + raw)
         try:
@@ -664,15 +796,22 @@ class ServingGateway:
         # wait=False: capacity joins when the slot reports ready; the
         # sampling loop must not stall on a multi-second cold start
         self.fleet.scale_to(target, wait=False)
+        action = "up" if target > current else "down"
+        self._scale_events_total.inc(action=action)
         self.scale_events.append({
             "t_s": now - (self._started_at or now),
-            "action": "up" if target > current else "down",
+            "action": action,
             "from": current, "to": target,
             "queue_depth": depth, "p95_ms": p95})
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def render_metrics(self) -> str:
+        """The ``GET /metrics`` page: gateway + fleet registries merged
+        into one Prometheus text exposition (format 0.0.4)."""
+        return render_exposition(self.metrics, self.fleet.metrics)
+
     def stats(self) -> dict:
         """JSON-ready gateway accounting (admission, scaling, fleet)."""
         return {
@@ -686,9 +825,12 @@ class ServingGateway:
             "max_inflight": self.max_inflight,
             "draining": self._draining,
             "shed_policy": self.shed_policy.name,
+            "shed_policy_state": self.shed_policy.state(),
             "scale_policy": (None if self.scale_policy is None
                              else self.scale_policy.name),
             "scale_events": list(self.scale_events),
+            "slowest": [trace.as_dict()
+                        for trace in self.trace_log.slowest(5)],
             "fleet": self.fleet.stats(),
         }
 

@@ -19,7 +19,13 @@ simulated dataset, writing the machine-readable ``BENCH_gateway.json``:
   lost across the whole scale-up/scale-down cycle;
 - **parity** — logits served over the socket (both JSON and binary
   encodings) are bitwise equal to direct ``ServingFleet.submit_batch``
-  for the same requests, over the graph/node/frozen paths.
+  for the same requests, over the graph/node/frozen paths;
+- **telemetry overhead** — the same pipelined stream with per-request
+  tracing + stage histograms on versus fully off: the gate demands the
+  instrumented gateway keeps at least ``min_telemetry_ratio`` (default
+  0.97x) of the uninstrumented rate, with bitwise-equal logits on both
+  sides and a slowest-trace stage breakdown covering every canonical
+  gateway stage.
 
 Like the fleet benchmark, throughput ratios are measured in one process
 run on one host, same artifact, same requests — the comparison is
@@ -40,21 +46,24 @@ from repro.serving.gateway import (QueueDepthScale, ServingGateway,
                                    WatermarkShed)
 from repro.serving.protocol import GatewayClient
 from repro.serving.workload import RampWorkload, split_requests
+from repro.telemetry import GATEWAY_STAGES
 from repro.utils.reports import write_benchmark_json
 
 __all__ = ["GATEWAY_BENCH_SCHEMA_VERSION", "run_gateway_benchmark",
            "check_gateway_benchmark_schema", "gate_gateway_benchmark",
            "write_benchmark_json"]
 
-GATEWAY_BENCH_SCHEMA_VERSION = 1
+GATEWAY_BENCH_SCHEMA_VERSION = 2
 
 
 def _open_gateway(path: Path, replicas: int, *, router: str,
-                  batch_mode: str, **gateway_options) -> ServingGateway:
+                  batch_mode: str, telemetry: bool = True,
+                  **gateway_options) -> ServingGateway:
     fleet = ServingFleet(path, replicas, router=router,
-                         batch_mode=batch_mode)
+                         batch_mode=batch_mode, telemetry=telemetry)
     try:
-        gateway = ServingGateway(fleet, owns_fleet=True, **gateway_options)
+        gateway = ServingGateway(fleet, owns_fleet=True,
+                                 telemetry=telemetry, **gateway_options)
         gateway.start()
     except Exception:
         fleet.close(drain=False)
@@ -196,6 +205,63 @@ def _measure_autoscale(path: Path, requests, *, router: str,
     }
 
 
+def _measure_telemetry_overhead(path: Path, replicas: int, requests, *,
+                                router: str, batch_mode: str,
+                                repeats: int = 2) -> dict:
+    """Pipelined rate with telemetry on vs fully off (best of ``repeats``).
+
+    Both sides replay the identical stream through fresh gateways on the
+    same artifact; a probe request's logits are kept from each side for
+    the bitwise-parity check (telemetry must be pure observation), and
+    the instrumented side's slowest retained trace must break down into
+    every canonical gateway stage.
+    """
+    rates: dict[bool, float] = {}
+    probes: dict[bool, np.ndarray | None] = {}
+    slow_stages: list[str] = []
+    for telemetry in (True, False):
+        best = 0.0
+        gateway = _open_gateway(path, replicas, router=router,
+                                batch_mode=batch_mode, telemetry=telemetry,
+                                max_inflight=4 * len(requests) + 16)
+        try:
+            with GatewayClient(*gateway.address,
+                               encoding="binary") as client:
+                for request in requests[:2 * replicas]:  # warm off the clock
+                    client.serve_batch(request)
+                probe = client.serve_batch(requests[0])
+                probes[telemetry] = probe.logits if probe.ok else None
+                for _ in range(repeats):
+                    gateway.fleet.reset_latencies()
+                    started = time.perf_counter()
+                    count = len([client.submit(r) for r in requests])
+                    replies = client.drain(count)
+                    wall = time.perf_counter() - started
+                    served = sum(reply.ok for reply in replies.values())
+                    best = max(best, served / wall if wall > 0 else 0.0)
+                if telemetry:
+                    slowest = gateway.slowest(1)
+                    slow_stages = (sorted(slowest[0].stages())
+                                   if slowest else [])
+        finally:
+            gateway.close()
+        rates[telemetry] = best
+    ratio = (rates[True] / rates[False] if rates[False] > 0 else 0.0)
+    parity = (probes[True] is not None and probes[False] is not None
+              and np.array_equal(probes[True], probes[False]))
+    return {
+        "replicas": replicas,
+        "requests": len(requests),
+        "repeats": repeats,
+        "instrumented_rps": rates[True],
+        "uninstrumented_rps": rates[False],
+        "overhead_ratio": ratio,
+        "parity_bitwise_equal": bool(parity),
+        "slowest_trace_stages": slow_stages,
+        "slowest_has_all_stages": set(GATEWAY_STAGES) <= set(slow_stages),
+    }
+
+
 def _check_parity(path: Path, requests, *, router: str,
                   batch_mode: str) -> dict:
     """Socket replies vs direct fleet futures, bitwise, per path."""
@@ -305,6 +371,9 @@ def run_gateway_benchmark(dataset: str = "pubmed-sim", *,
                                             seed=seed),
             "parity": _check_parity(path, requests[:3], router=router,
                                     batch_mode=batch_mode),
+            "telemetry": _measure_telemetry_overhead(
+                path, replicas, requests, router=router,
+                batch_mode=batch_mode),
         }
     finally:
         if temp_dir is not None:
@@ -317,7 +386,7 @@ def check_gateway_benchmark_schema(result: dict) -> None:
     top = ("schema_version", "kind", "dataset", "method", "budget", "seed",
            "scale", "deployment", "batch_mode", "router", "replicas",
            "num_requests", "nodes_per_request", "usable_cores", "artifact",
-           "throughput", "shedding", "autoscale", "parity")
+           "throughput", "shedding", "autoscale", "parity", "telemetry")
     missing = [key for key in top if key not in result]
     if missing:
         raise ServingError(f"gateway benchmark misses keys: {missing}")
@@ -351,10 +420,16 @@ def check_gateway_benchmark_schema(result: dict) -> None:
     for key in ("paths", "gateway_bitwise_equal"):
         if key not in result["parity"]:
             raise ServingError(f"parity misses {key!r}")
+    for key in ("instrumented_rps", "uninstrumented_rps", "overhead_ratio",
+                "parity_bitwise_equal", "slowest_trace_stages",
+                "slowest_has_all_stages"):
+        if key not in result["telemetry"]:
+            raise ServingError(f"telemetry misses {key!r}")
 
 
 def gate_gateway_benchmark(result: dict, *,
-                           min_socket_ratio: float = 0.7) -> list[str]:
+                           min_socket_ratio: float = 0.7,
+                           min_telemetry_ratio: float = 0.97) -> list[str]:
     """Perf-gate checks; returns failure messages (empty = gate passed)."""
     failures = []
     throughput = result["throughput"]
@@ -392,4 +467,19 @@ def gate_gateway_benchmark(result: dict, *,
     if not result["parity"]["gateway_bitwise_equal"]:
         failures.append("gateway responses are not bitwise equal to direct "
                         "fleet serving")
+    telemetry = result["telemetry"]
+    if telemetry["overhead_ratio"] < min_telemetry_ratio:
+        failures.append(
+            f"instrumented gateway ({telemetry['instrumented_rps']:.0f} "
+            f"req/s) is below {min_telemetry_ratio:.0%} of the "
+            f"uninstrumented rate "
+            f"({telemetry['uninstrumented_rps']:.0f} req/s)")
+    if not telemetry["parity_bitwise_equal"]:
+        failures.append("telemetry changed the served logits "
+                        "(instrumented vs uninstrumented probes differ)")
+    if not telemetry["slowest_has_all_stages"]:
+        failures.append(
+            f"the slowest trace covers stages "
+            f"{telemetry['slowest_trace_stages']} — missing some of "
+            f"{sorted(GATEWAY_STAGES)}")
     return failures

@@ -60,6 +60,7 @@ from repro.graph.stream import (
 )
 from repro.inference.engine import validate_deployment
 from repro.nn.models import GNNModel, SGC
+from repro.telemetry import stage_span
 from repro.tensor.sparse import sparse_memory_bytes
 from repro.tensor.tensor import Tensor, no_grad
 
@@ -318,9 +319,12 @@ class PreparedDeployment:
         self.model.eval()
         start = time.perf_counter()
         intra = batch.intra if batch_mode == "graph" else None
-        operator, features, memory = self.attach_normalize(
-            batch.incremental, batch.features, intra)
-        with no_grad():
+        # the sub-spans only reach a trace when the caller installed one
+        # (use_trace); otherwise stage_span is a contextvar-read no-op
+        with stage_span("operator"):
+            operator, features, memory = self.attach_normalize(
+                batch.incremental, batch.features, intra)
+        with stage_span("forward"), no_grad():
             logits = self.model(operator, Tensor(features))
         inductive = logits.data[self.num_base:]
         elapsed = time.perf_counter() - start
@@ -421,33 +425,37 @@ class PreparedDeployment:
         hops = self.propagated_base_features()  # validates the model too
         self.model.eval()
         start = time.perf_counter()
-        new_feats = np.asarray(batch.features, dtype=np.float64)
-        n = new_feats.shape[0]
-        inc = self._converted_incremental(batch.incremental, n)
-        inc_nnz_raw = int(inc.nnz)  # before elimination, like attach_normalize
-        inc.eliminate_zeros()
-        intra = batch.intra if batch_mode == "graph" else None
-        ea_raw = _canonical_csr(intra, (n, n), "intra adjacency")
-        ea_loops = add_self_loops(ea_raw) if n else ea_raw
+        with stage_span("operator"):
+            new_feats = np.asarray(batch.features, dtype=np.float64)
+            n = new_feats.shape[0]
+            inc = self._converted_incremental(batch.incremental, n)
+            inc_nnz_raw = int(inc.nnz)  # before elimination, like attach_normalize
+            inc.eliminate_zeros()
+            intra = batch.intra if batch_mode == "graph" else None
+            ea_raw = _canonical_csr(intra, (n, n), "intra adjacency")
+            ea_loops = add_self_loops(ea_raw) if n else ea_raw
 
-        # degrees of the *new* rows only; base rows keep standalone scaling
-        deg_new = (np.asarray(inc.sum(axis=1)).reshape(-1)
-                   + np.asarray(ea_loops.sum(axis=1)).reshape(-1))
-        inv_new = _inv_sqrt(deg_new)
-        inv_base = self._standalone_inv_sqrt_degrees()
+            # degrees of the *new* rows only; base rows keep standalone
+            # scaling
+            deg_new = (np.asarray(inc.sum(axis=1)).reshape(-1)
+                       + np.asarray(ea_loops.sum(axis=1)).reshape(-1))
+            inv_new = _inv_sqrt(deg_new)
+            inv_base = self._standalone_inv_sqrt_degrees()
 
-        rows_nb = np.repeat(np.arange(n), np.diff(inc.indptr))
-        op_nb = inc.copy()
-        op_nb.data = (inv_new[rows_nb] * inc.data) * inv_base[inc.indices]
-        rows_nn = np.repeat(np.arange(n), np.diff(ea_loops.indptr))
-        op_nn = ea_loops.copy()
-        op_nn.data = (inv_new[rows_nn] * ea_loops.data) * inv_new[ea_loops.indices]
+            rows_nb = np.repeat(np.arange(n), np.diff(inc.indptr))
+            op_nb = inc.copy()
+            op_nb.data = (inv_new[rows_nb] * inc.data) * inv_base[inc.indices]
+            rows_nn = np.repeat(np.arange(n), np.diff(ea_loops.indptr))
+            op_nn = ea_loops.copy()
+            op_nn.data = ((inv_new[rows_nn] * ea_loops.data)
+                          * inv_new[ea_loops.indices])
 
-        h = new_feats
-        for k in range(self.model.k_hops):
-            h = op_nb @ hops[k] + op_nn @ h
-        with no_grad():
-            logits = self.model.classifier(Tensor(h))
+        with stage_span("forward"):
+            h = new_feats
+            for k in range(self.model.k_hops):
+                h = op_nb @ hops[k] + op_nn @ h
+            with no_grad():
+                logits = self.model.classifier(Tensor(h))
         elapsed = time.perf_counter() - start
         memory = self._memory_bytes(n, inc_nnz_raw, int(ea_raw.nnz),
                                     self.num_base + n)

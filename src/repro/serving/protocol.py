@@ -217,8 +217,13 @@ def _decode_matrix(spec, payload: bytes, *, name: str) -> sp.csr_matrix:
 def encode_serve_request(request_id: int, batch: IncrementalBatch, *,
                          mode: str | None = None, frozen: bool = False,
                          key: str | None = None, encoding: str = "json",
-                         dtype: str = "float64") -> bytes:
-    """Build one ``serve`` frame from an :class:`IncrementalBatch`."""
+                         dtype: str = "float64",
+                         trace_id: str | None = None) -> bytes:
+    """Build one ``serve`` frame from an :class:`IncrementalBatch`.
+
+    ``trace_id`` propagates a client-chosen trace id into the gateway's
+    request tracing; without one the gateway stamps its own.
+    """
     if encoding not in _ENCODINGS:
         raise ServingError(
             f"encoding must be one of {_ENCODINGS}, got {encoding!r}")
@@ -242,6 +247,8 @@ def encode_serve_request(request_id: int, batch: IncrementalBatch, *,
         header["frozen"] = True
     if key is not None:
         header["key"] = key
+    if trace_id is not None:
+        header["trace"] = trace_id
     return encode_frame(header, bytes(payload))
 
 
@@ -255,6 +262,7 @@ class ServeRequest:
     frozen: bool
     key: str | None
     encoding: str
+    trace_id: str | None = None
 
 
 def decode_serve_request(header: dict, payload: bytes) -> ServeRequest:
@@ -272,6 +280,9 @@ def decode_serve_request(header: dict, payload: bytes) -> ServeRequest:
     key = header.get("key")
     if key is not None and not isinstance(key, str):
         raise ProtocolError(f"routing key must be a string, got {key!r}")
+    trace_id = header.get("trace")
+    if trace_id is not None and not isinstance(trace_id, str):
+        raise ProtocolError(f"trace id must be a string, got {trace_id!r}")
     if "features" not in header or "incremental" not in header:
         raise ProtocolError("serve frame needs 'features' and 'incremental'")
     features = _decode_array(header["features"], payload, name="features")
@@ -299,7 +310,8 @@ def decode_serve_request(header: dict, payload: bytes) -> ServeRequest:
                              labels=np.full(n, -1, dtype=np.int64))
     return ServeRequest(request_id=request_id, batch=batch, mode=mode,
                         frozen=frozen, key=key,
-                        encoding=header.get("encoding", "json"))
+                        encoding=header.get("encoding", "json"),
+                        trace_id=trace_id)
 
 
 # ----------------------------------------------------------------------
@@ -312,8 +324,15 @@ def encode_reply(request_id: int | None, status: str, *,
                  replica_id: int | None = None,
                  attempts: int | None = None,
                  compute_ms: float | None = None,
-                 encoding: str = "json") -> bytes:
-    """Build one reply frame (``ok`` / ``shed`` / ``error``)."""
+                 encoding: str = "json",
+                 trace_id: str | None = None,
+                 stages: dict | None = None) -> bytes:
+    """Build one reply frame (``ok`` / ``shed`` / ``error``).
+
+    ``trace_id`` echoes the request's trace and ``stages`` carries its
+    per-stage latency breakdown (stage name → milliseconds) so clients
+    see where their time went without scraping the gateway.
+    """
     payload = bytearray()
     header: dict = {"op": "reply", "id": request_id, "status": status}
     if logits is not None:
@@ -328,6 +347,10 @@ def encode_reply(request_id: int | None, status: str, *,
         header["attempts"] = attempts
     if compute_ms is not None:
         header["compute_ms"] = compute_ms
+    if trace_id is not None:
+        header["trace"] = trace_id
+    if stages is not None:
+        header["stages"] = stages
     return encode_frame(header, bytes(payload))
 
 
@@ -344,6 +367,8 @@ class GatewayReply:
     attempts: int | None = None
     compute_ms: float | None = None
     stats: dict | None = None
+    trace_id: str | None = None
+    stages: dict | None = None  # stage name -> milliseconds
 
     @property
     def ok(self) -> bool:
@@ -362,7 +387,8 @@ def decode_reply(header: dict, payload: bytes) -> GatewayReply:
         error=header.get("error"),
         retry_after_ms=header.get("retry_after_ms"),
         replica_id=header.get("replica"), attempts=header.get("attempts"),
-        compute_ms=header.get("compute_ms"), stats=header.get("stats"))
+        compute_ms=header.get("compute_ms"), stats=header.get("stats"),
+        trace_id=header.get("trace"), stages=header.get("stages"))
 
 
 # ----------------------------------------------------------------------
@@ -408,12 +434,13 @@ class GatewayClient:
     # -- request/response ----------------------------------------------
     def submit(self, batch: IncrementalBatch, *, mode: str | None = None,
                frozen: bool = False, key: str | None = None,
-               dtype: str = "float64") -> int:
+               dtype: str = "float64", trace_id: str | None = None) -> int:
         """Send one ``serve`` frame without waiting; returns its id."""
         self._next_id += 1
         frame = encode_serve_request(self._next_id, batch, mode=mode,
                                      frozen=frozen, key=key,
-                                     encoding=self.encoding, dtype=dtype)
+                                     encoding=self.encoding, dtype=dtype,
+                                     trace_id=trace_id)
         self._sock.sendall(frame)
         return self._next_id
 

@@ -43,6 +43,7 @@ from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
 from repro.serving.queue import BoundedRequestQueue, QueueFullError
 from repro.serving.scheduler import MicroBatchScheduler
 from repro.serving.stats import LatencyAccounting, RequestRecord, RuntimeStats
+from repro.telemetry import MetricsRegistry, TraceContext, TraceLog
 
 __all__ = ["ServingRuntime", "ServingFuture", "IngestFuture", "Request",
            "merge_requests"]
@@ -147,6 +148,7 @@ class Request:
     intra: sp.csr_matrix
     future: ServingFuture = field(default_factory=ServingFuture)
     enqueued_at: float = 0.0
+    trace: TraceContext | None = None
 
     @property
     def num_nodes(self) -> int:
@@ -183,13 +185,26 @@ class ServingRuntime:
     precision:
         ``"exact"`` (default — bitwise-parity path) or ``"frozen"`` (the
         cached-propagation approximation; SGC only).
+    telemetry:
+        Feed the per-stage latency histograms
+        (``repro_stage_latency_seconds{component="runtime"}``); the
+        exact ``repro_runtime_requests_total`` counters report either
+        way.  Traces are never auto-created here — a caller that wants
+        one passes it to :meth:`submit`.
+    metrics:
+        A :class:`~repro.telemetry.MetricsRegistry` to report into
+        (default: a private one, exposed as ``runtime.metrics``).
     """
 
     def __init__(self, prepared: PreparedDeployment,
                  scheduler: MicroBatchScheduler | str = "microbatch",
                  *, batch_mode: str = "graph", queue_capacity: int = 1024,
                  overflow: str = "block", precision: str = "exact",
-                 scheduler_options: dict | None = None) -> None:
+                 scheduler_options: dict | None = None,
+                 telemetry: bool = True,
+                 metrics: MetricsRegistry | None = None,
+                 trace_capacity: int = 256,
+                 slow_trace_ms: float | None = None) -> None:
         if batch_mode not in ("graph", "node"):
             raise InferenceError(
                 f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
@@ -206,6 +221,22 @@ class ServingRuntime:
             prepared.propagated_base_features()  # validate model support early
         self.queue = BoundedRequestQueue(queue_capacity, overflow)
         self.accounting = LatencyAccounting()
+        self.telemetry = bool(telemetry)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace_log = TraceLog(capacity=trace_capacity,
+                                  slow_ms=slow_trace_ms)
+        self._requests_total = self.metrics.counter(
+            "repro_runtime_requests_total",
+            "Requests resolved by the runtime, by terminal outcome.",
+            ("outcome",))
+        self.metrics.gauge(
+            "repro_runtime_queue_depth",
+            "Requests waiting in the runtime's admission queue.",
+            callback=lambda: len(self.queue))
+        self._stage_latency = self.metrics.histogram(
+            "repro_stage_latency_seconds",
+            "Per-stage request latency across the serving layers.",
+            ("component", "stage"))
         self._serve_lock = threading.Lock()
         self._thread: threading.Thread | None = None
         self._stopping = threading.Event()
@@ -236,25 +267,30 @@ class ServingRuntime:
     # Admission
     # ------------------------------------------------------------------
     def submit(self, features, incremental, intra=None,
-               timeout: float | None = None) -> ServingFuture:
+               timeout: float | None = None,
+               trace: TraceContext | None = None) -> ServingFuture:
         """Admit one request; returns its :class:`ServingFuture`.
 
         ``features`` is ``(n, d)`` (or ``(d,)`` for a single node),
         ``incremental`` the ``(n, N)`` connections into the original
         graph, ``intra`` the optional ``(n, n)`` edges among the
-        request's own nodes.
+        request's own nodes.  Pass a ``trace`` to collect the request's
+        ``queue_wait``/``assembly``/``serve`` stage spans.
         """
         request = self._build_request(features, incremental, intra)
         request.enqueued_at = time.perf_counter()
+        request.trace = trace
         try:
             evicted = self.queue.put(request, timeout=timeout)
         except QueueFullError:
             self.accounting.observe_rejection()
+            self._requests_total.inc(outcome="rejected")
             request.future._fail(ServingError(
                 "request rejected: serving queue is full"))
             return request.future
         if evicted is not None:
             self.accounting.observe_rejection()
+            self._requests_total.inc(outcome="rejected")
             evicted.future._fail(ServingError(
                 "request dropped: evicted by a newer arrival (drop_oldest)"))
         return request.future
@@ -383,10 +419,10 @@ class ServingRuntime:
         """
         with self._serve_lock:
             self._apply_pending_deltas()
-            batch = self._collect(timeout)
+            batch, assembly_seconds = self._collect(timeout)
             if not batch:
                 return 0
-            self._execute(batch)
+            self._execute(batch, assembly_seconds)
             return len(batch)
 
     def run_pending(self) -> int:
@@ -398,10 +434,17 @@ class ServingRuntime:
                 return total
             total += served
 
-    def _collect(self, timeout: float | None) -> list[Request]:
+    def _collect(self, timeout: float | None) -> tuple[list[Request], float]:
+        """Form one micro-batch; returns ``(batch, assembly_seconds)``.
+
+        Assembly time runs from the first dequeue to the batch closing —
+        the micro-batch coalescing wait the scheduler trades against
+        batching efficiency (the runtime's ``assembly`` stage).
+        """
         first = self.queue.get(timeout=timeout)
         if first is None:
-            return []
+            return [], 0.0
+        assembly_started = time.perf_counter()
         batch = [first]
         deadline = self.scheduler.deadline(first.enqueued_at)
         while not self.scheduler.full(len(batch)):
@@ -413,7 +456,7 @@ class ServingRuntime:
             if nxt is None:
                 break
             batch.append(nxt)
-        return batch
+        return batch, time.perf_counter() - assembly_started
 
     def _align_request_widths(self, requests: list[Request]) -> list[Request]:
         """Bring every request in the batch to the current base width.
@@ -440,6 +483,7 @@ class ServingRuntime:
                     f"an ingested delta that failed to apply (current "
                     f"width {width})"))
                 self.accounting.observe_failure(1)
+                self._requests_total.inc(outcome="failed")
                 continue
             if inc.shape[1] < width:
                 request.incremental = sp.csr_matrix(
@@ -448,7 +492,8 @@ class ServingRuntime:
             kept.append(request)
         return kept
 
-    def _execute(self, requests: list[Request]) -> None:
+    def _execute(self, requests: list[Request],
+                 assembly_seconds: float = 0.0) -> None:
         started = time.perf_counter()
         try:
             requests = self._align_request_widths(requests)
@@ -465,21 +510,37 @@ class ServingRuntime:
             for request in requests:
                 request.future._fail(error)
             self.accounting.observe_failure(len(requests))
+            self._requests_total.inc(len(requests), outcome="failed")
             return
         finished = time.perf_counter()
+        if self.telemetry:
+            self._stage_latency.observe(
+                assembly_seconds, component="runtime", stage="assembly")
+            self._stage_latency.observe(
+                compute_seconds, component="runtime", stage="serve")
         records = []
         offset = 0
         for request in requests:
             rows = logits[offset:offset + request.num_nodes]
             offset += request.num_nodes
+            queue_wait = max(started - request.enqueued_at, 0.0)
+            if self.telemetry:
+                self._stage_latency.observe(
+                    queue_wait, component="runtime", stage="queue_wait")
+            if request.trace is not None:
+                request.trace.add_stage("queue_wait", queue_wait)
+                request.trace.add_stage("assembly", assembly_seconds)
+                request.trace.add_stage("serve", compute_seconds)
+                self.trace_log.observe(request.trace)
             record = RequestRecord(
                 num_nodes=request.num_nodes,
-                queue_seconds=max(started - request.enqueued_at, 0.0),
+                queue_seconds=queue_wait,
                 compute_seconds=compute_seconds,
                 batch_size=len(requests))
             records.append(record)
             request.future._resolve(rows, record)
         self.accounting.observe_batch(records, started, finished)
+        self._requests_total.inc(len(requests), outcome="served")
 
     # ------------------------------------------------------------------
     # Lifecycle (threaded mode)

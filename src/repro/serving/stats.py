@@ -8,6 +8,11 @@ measured by — p50/p95/p99 end-to-end latency, the wait/compute split, and
 throughput.  Quantiles come from the shared
 :func:`repro.inference.benchmark.latency_percentiles` helper so every
 latency report in the repo interpolates the same way.
+
+This module predates :mod:`repro.telemetry` and stays the exact-sample
+view (true percentiles over a sliding window); the telemetry histograms
+(``repro_stage_latency_seconds``, fixed buckets) are the scrapeable
+approximation of the same latencies.  The runtime feeds both.
 """
 
 from __future__ import annotations

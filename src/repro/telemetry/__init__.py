@@ -1,0 +1,56 @@
+"""End-to-end observability: metrics registry plus request tracing.
+
+The serving stack spans five layers (gateway → fleet → replica →
+runtime → prepared caches); this package is the stdlib-only measurement
+substrate threaded through all of them:
+
+- :mod:`~repro.telemetry.metrics` — thread-safe counters, gauges, and
+  fixed-bucket histograms with labels, rendered in Prometheus text
+  exposition format (the gateway's ``GET /metrics``) and parsed back
+  (``repro top``, CI smoke assertions);
+- :mod:`~repro.telemetry.tracing` — per-request
+  :class:`TraceContext` stage spans (admission / dispatch / serve /
+  collect / reply), contextvar-carried through deep layers, collected
+  into per-stage histograms and a bounded :class:`TraceLog` ring of
+  slow-request traces;
+- :mod:`~repro.telemetry.timers` — :class:`Stopwatch` /
+  :func:`format_seconds` (formerly ``repro.utils.timers``), now able to
+  report into the stage-span API.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TelemetryError,
+    histogram_quantile,
+    parse_exposition,
+    render_exposition,
+)
+from repro.telemetry.tracing import (
+    GATEWAY_STAGES,
+    RUNTIME_STAGES,
+    StageSpan,
+    TraceContext,
+    TraceLog,
+    current_trace,
+    new_trace_id,
+    record_stage,
+    stage_span,
+    use_trace,
+)
+from repro.telemetry.timers import Stopwatch, format_seconds
+
+__all__ = [
+    "TelemetryError",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "render_exposition", "parse_exposition", "histogram_quantile",
+    "GATEWAY_STAGES", "RUNTIME_STAGES",
+    "StageSpan", "TraceContext", "TraceLog",
+    "new_trace_id", "current_trace", "use_trace", "record_stage",
+    "stage_span",
+    "Stopwatch", "format_seconds",
+]

@@ -1,0 +1,64 @@
+"""Wall-clock timing helpers, integrated with the stage-span API.
+
+Home of the former ``repro.utils.timers`` (which remains as a thin
+alias): :class:`Stopwatch` now optionally reports its elapsed time as a
+stage span of the current :class:`~repro.telemetry.tracing.TraceContext`
+and/or into a histogram, so ad-hoc timing in examples and the CLI feeds
+the same telemetry the serving layers use.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.telemetry.tracing import record_stage
+
+__all__ = ["Stopwatch", "format_seconds"]
+
+
+class Stopwatch:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Stopwatch() as watch:
+    ...     _ = sum(range(1000))
+    >>> watch.elapsed >= 0.0
+    True
+
+    With ``stage`` the elapsed time is also recorded as a span of the
+    current trace (no-op when none is active), and with ``histogram``
+    it is observed there too.
+    """
+
+    def __init__(self, stage: str | None = None, histogram=None,
+                 **labels) -> None:
+        self.stage = stage
+        self.histogram = histogram
+        self.labels = labels
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed = time.perf_counter() - self._start
+        if self.stage is not None:
+            record_stage(self.stage, self.elapsed)
+        if self.histogram is not None:
+            self.histogram.observe(self.elapsed, **self.labels)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering: ``1.2ms``, ``3.4s``, ``2m05s``."""
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, remainder = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{remainder:04.1f}s"

@@ -1,0 +1,245 @@
+"""Per-request stage tracing across the serving layers.
+
+A :class:`TraceContext` is stamped where a request enters the system
+(gateway admission, or fleet/runtime submit), carried by reference
+through the layers that touch the request — the frame protocol header
+contributes the trace id, the fleet dispatch pickle tells the replica
+worker to time its sub-stages — and accumulates one
+:class:`StageSpan` per serving stage.  The canonical gateway-path
+stages, in request order:
+
+- ``admission``  — gateway: decode + shed decision + admission queue;
+- ``dispatch``   — fleet: submit → the replica worker dequeues (IPC +
+  replica queue wait; ``time.perf_counter`` is CLOCK_MONOTONIC on the
+  platforms we serve on, so parent/child stamps are comparable);
+- ``serve``      — replica: operator assembly + forward (the worker's
+  ``serve.operator``/``serve.forward`` sub-spans break this down);
+- ``collect``    — fleet: worker reply → parent resolves the future;
+- ``reply``      — gateway: encode + enqueue the reply frame.
+
+The in-process runtime path records ``queue_wait``/``assembly``/
+``serve`` instead.  Within one thread the *current* trace travels in a
+:mod:`contextvars` variable so deep layers (``prepared.serve_batch``)
+can contribute sub-spans without threading a handle through every
+signature: :func:`use_trace` installs it, :func:`stage_span` /
+:func:`record_stage` write through it, and both are no-ops when no
+trace is active — the uninstrumented fast path stays allocation-free.
+
+Completed traces land in a :class:`TraceLog`: a bounded ring with
+``slowest(n)`` for postmortems and an optional slow-request threshold
+that emits one structured (JSON) log line per offender.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "GATEWAY_STAGES",
+    "RUNTIME_STAGES",
+    "StageSpan",
+    "TraceContext",
+    "TraceLog",
+    "new_trace_id",
+    "current_trace",
+    "use_trace",
+    "record_stage",
+    "stage_span",
+]
+
+#: Canonical stage names of the gateway → fleet → replica path.
+GATEWAY_STAGES = ("admission", "dispatch", "serve", "collect", "reply")
+#: Canonical stage names of the in-process micro-batching runtime.
+RUNTIME_STAGES = ("queue_wait", "assembly", "serve")
+
+logger = logging.getLogger("repro.telemetry")
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id (random, collision-negligible)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class StageSpan:
+    """One timed stage of one request."""
+
+    stage: str
+    seconds: float
+
+
+class TraceContext:
+    """Trace id plus the stage spans one request accumulated so far.
+
+    Spans are appended by whichever layer currently owns the request;
+    the handoffs are ordered (admission happens-before dispatch
+    happens-before the completion callback), and the internal lock makes
+    the ring/snapshot reads safe from other threads regardless.
+    """
+
+    __slots__ = ("trace_id", "started", "labels", "spans", "_stack",
+                 "_lock", "_total")
+
+    def __init__(self, trace_id: str | None = None,
+                 labels: dict | None = None) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.started = time.perf_counter()
+        self.labels: dict[str, str] = dict(labels or {})
+        self.spans: list[StageSpan] = []
+        self._stack: list[str] = []  # nested stage_span() name prefix
+        self._lock = threading.Lock()
+        self._total: float | None = None
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self.spans.append(StageSpan(stage, float(seconds)))
+
+    def finish(self) -> float:
+        """Freeze the end-to-end wall time (idempotent); returns it."""
+        with self._lock:
+            if self._total is None:
+                self._total = time.perf_counter() - self.started
+            return self._total
+
+    @property
+    def total_seconds(self) -> float:
+        with self._lock:
+            if self._total is not None:
+                return self._total
+        return time.perf_counter() - self.started
+
+    def stages(self) -> dict[str, float]:
+        """Stage → seconds (same-name spans sum, e.g. after a re-route)."""
+        with self._lock:
+            spans = list(self.spans)
+        out: dict[str, float] = {}
+        for span in spans:
+            out[span.stage] = out.get(span.stage, 0.0) + span.seconds
+        return out
+
+    def as_dict(self) -> dict:
+        """JSON-ready view (the slow-request log line's payload)."""
+        return {
+            "trace_id": self.trace_id,
+            "total_ms": self.total_seconds * 1e3,
+            "stages_ms": {stage: seconds * 1e3
+                          for stage, seconds in self.stages().items()},
+            **{str(k): str(v) for k, v in self.labels.items()},
+        }
+
+    def __repr__(self) -> str:
+        return (f"TraceContext({self.trace_id!r}, "
+                f"stages={list(self.stages())}, "
+                f"total_ms={self.total_seconds * 1e3:.2f})")
+
+
+_CURRENT: contextvars.ContextVar[TraceContext | None] = (
+    contextvars.ContextVar("repro_trace", default=None))
+
+
+def current_trace() -> TraceContext | None:
+    """The thread/task-local active trace, if any."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_trace(trace: TraceContext | None):
+    """Install ``trace`` as the current trace for the ``with`` body."""
+    token = _CURRENT.set(trace)
+    try:
+        yield trace
+    finally:
+        _CURRENT.reset(token)
+
+
+def record_stage(stage: str, seconds: float) -> None:
+    """Add a span to the current trace; silently no-op without one."""
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace.add_stage(stage, seconds)
+
+
+@contextmanager
+def stage_span(stage: str, histogram=None, /, **labels):
+    """Time the ``with`` body as one stage of the current trace.
+
+    Nested spans compose dotted names (``serve`` > ``operator`` becomes
+    ``serve.operator``).  With ``histogram`` the elapsed seconds are
+    also observed there (with ``labels``) whether or not a trace is
+    active — the per-stage histograms see every request, the trace ring
+    only the sampled/slow ones.  The first two parameters are
+    positional-only so ``labels`` may legally contain ``stage`` (the
+    shared stage histogram's own label).
+    """
+    trace = _CURRENT.get()
+    if trace is not None:
+        trace._stack.append(stage)
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        if trace is not None:
+            trace._stack.pop()
+            name = ".".join((*trace._stack, stage))
+            trace.add_stage(name, elapsed)
+        if histogram is not None:
+            histogram.observe(elapsed, **labels)
+
+
+class TraceLog:
+    """Bounded ring of completed traces with a slow-request threshold.
+
+    ``observe`` finishes the trace, keeps it in a ``capacity``-deep
+    ring (``slowest(n)`` reads it back, worst first), and — when
+    ``slow_ms`` is set and the trace exceeds it — emits one structured
+    ``WARNING`` line whose message payload is the trace's JSON dict.
+    """
+
+    def __init__(self, capacity: int = 256,
+                 slow_ms: float | None = None,
+                 log: logging.Logger | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if slow_ms is not None and slow_ms <= 0:
+            raise ValueError(f"slow_ms must be positive, got {slow_ms}")
+        self.capacity = capacity
+        self.slow_ms = slow_ms
+        self._log = log or logger
+        self._lock = threading.Lock()
+        self._ring: deque[TraceContext] = deque(maxlen=capacity)
+
+    def observe(self, trace: TraceContext) -> None:
+        total = trace.finish()
+        with self._lock:
+            self._ring.append(trace)
+        if self.slow_ms is not None and total * 1e3 >= self.slow_ms:
+            self._log.warning("slow request %s",
+                              json.dumps(trace.as_dict(), sort_keys=True))
+
+    def slowest(self, n: int = 10) -> list[TraceContext]:
+        """The ``n`` slowest retained traces, slowest first."""
+        with self._lock:
+            traces = list(self._ring)
+        traces.sort(key=lambda trace: trace.total_seconds, reverse=True)
+        return traces[:max(n, 0)]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:
+        return (f"TraceLog(capacity={self.capacity}, "
+                f"slow_ms={self.slow_ms}, retained={len(self)})")

@@ -1,43 +1,9 @@
-"""Wall-clock helpers used by examples and the CLI."""
+"""Back-compat alias: the timers live in :mod:`repro.telemetry.timers`.
 
-from __future__ import annotations
+``Stopwatch`` grew stage-span integration when it moved into the
+telemetry package; import from :mod:`repro.telemetry` in new code.
+"""
 
-import time
+from repro.telemetry.timers import Stopwatch, format_seconds
 
 __all__ = ["Stopwatch", "format_seconds"]
-
-
-class Stopwatch:
-    """Context manager measuring elapsed wall-clock seconds.
-
-    >>> with Stopwatch() as watch:
-    ...     _ = sum(range(1000))
-    >>> watch.elapsed >= 0.0
-    True
-    """
-
-    def __init__(self) -> None:
-        self._start: float | None = None
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Stopwatch":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        assert self._start is not None
-        self.elapsed = time.perf_counter() - self._start
-
-
-def format_seconds(seconds: float) -> str:
-    """Human-friendly rendering: ``1.2ms``, ``3.4s``, ``2m05s``."""
-    if seconds < 0:
-        raise ValueError(f"seconds must be non-negative, got {seconds}")
-    if seconds < 1e-3:
-        return f"{seconds * 1e6:.0f}us"
-    if seconds < 1.0:
-        return f"{seconds * 1e3:.1f}ms"
-    if seconds < 60.0:
-        return f"{seconds:.1f}s"
-    minutes, remainder = divmod(seconds, 60.0)
-    return f"{int(minutes)}m{remainder:04.1f}s"

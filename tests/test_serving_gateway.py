@@ -448,6 +448,116 @@ class TestGatewayServing:
         with pytest.raises(ServingError, match="already started"):
             gateway.start()
 
+    def test_reply_carries_trace_breakdown(self, gateway, gw_requests):
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            reply = client.serve_batch(gw_requests[0])
+        assert reply.ok
+        assert isinstance(reply.trace_id, str) and len(reply.trace_id) == 16
+        # the reply span is timed after encoding, so the wire breakdown
+        # carries every stage known before it
+        assert {"admission", "dispatch", "serve",
+                "collect"} <= set(reply.stages)
+        assert all(ms >= 0.0 for ms in reply.stages.values())
+
+    def test_slowest_trace_covers_all_gateway_stages(self, gateway,
+                                                     gw_requests):
+        """Acceptance: a slow request shows up with all five spans."""
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            for request in gw_requests[:3]:
+                assert client.serve_batch(request).ok
+        slowest = gateway.slowest(1)
+        assert slowest, "served traffic must retain traces"
+        stages = set(slowest[0].stages())
+        assert {"admission", "dispatch", "serve", "collect",
+                "reply"} <= stages
+        assert {"serve.operator", "serve.forward"} <= stages
+
+    def test_metrics_page_covers_every_layer(self, gateway, gw_requests):
+        """Acceptance: GET /metrics is valid exposition, all core series."""
+        from repro.telemetry import parse_exposition
+
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            for request in gw_requests[:2]:
+                assert client.serve_batch(request).ok
+        conn = http.client.HTTPConnection(*gateway.address, timeout=10)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            body = response.read().decode("utf-8")
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith(
+            "text/plain; version=0.0.4")
+        samples = parse_exposition(body)  # raises on malformed lines
+        outcomes = {labels["outcome"]: value for labels, value
+                    in samples["repro_gateway_requests_total"]}
+        assert outcomes["offered"] >= outcomes["served"] >= 2.0
+        fleet_outcomes = {labels["outcome"]: value for labels, value
+                          in samples["repro_fleet_requests_total"]}
+        assert fleet_outcomes["completed"] >= 2.0
+        assert samples["repro_fleet_replica_served_total"]
+        for gauge in ("repro_gateway_inflight", "repro_gateway_max_inflight",
+                      "repro_gateway_draining", "repro_fleet_queue_depth",
+                      "repro_fleet_replicas"):
+            assert gauge in samples, f"missing gauge {gauge}"
+        stage_counts = {(labels["component"], labels["stage"]): value
+                        for labels, value
+                        in samples["repro_stage_latency_seconds_count"]}
+        for stage in ("admission", "reply"):
+            assert stage_counts[("gateway", stage)] >= 2.0
+        for stage in ("dispatch", "serve", "collect"):
+            assert stage_counts[("fleet", stage)] >= 2.0
+
+    def test_render_metrics_merges_gateway_and_fleet(self, gateway):
+        page = gateway.render_metrics()
+        assert page.count("# TYPE repro_stage_latency_seconds") == 1
+        assert "repro_gateway_requests_total" in page
+        assert "repro_fleet_requests_total" in page
+
+    def test_stats_reports_shed_policy_state_and_slowest(self, gateway,
+                                                         gw_requests):
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            assert client.serve_batch(gw_requests[0]).ok
+        stats = gateway.stats()
+        assert stats["shed_policy_state"] == {}  # AdmitAllShed is stateless
+        assert stats["slowest"]
+        entry = stats["slowest"][0]
+        assert "trace_id" in entry and "stages_ms" in entry
+        json.dumps(stats)  # the whole stats page must stay JSON-clean
+
+    def test_watermark_stats_expose_hysteresis_state(self, gw_artifact):
+        fleet = ServingFleet(gw_artifact, 1, router="round-robin",
+                             batch_mode="node")
+        gw = ServingGateway(fleet, owns_fleet=True,
+                            shed_policy=WatermarkShed(high=0.75, low=0.5))
+        try:
+            gw.start()
+            state = gw.stats()["shed_policy_state"]
+            assert state == {"shedding": False, "high": 0.75, "low": 0.5}
+        finally:
+            gw.close()
+
+    def test_telemetry_off_serves_without_traces(self, gw_artifact,
+                                                 gw_requests):
+        fleet = ServingFleet(gw_artifact, 1, router="round-robin",
+                             batch_mode="node", telemetry=False)
+        gw = ServingGateway(fleet, owns_fleet=True, telemetry=False)
+        try:
+            gw.start()
+            with GatewayClient(*gw.address, encoding="binary") as client:
+                reply = client.serve_batch(gw_requests[0])
+            assert reply.ok
+            assert reply.trace_id is None
+            assert reply.stages is None
+            assert gw.slowest(5) == []
+            assert fleet.slowest(5) == []
+            # counters are exact with or without telemetry
+            assert gw.served == 1
+            assert fleet.completed == 1
+        finally:
+            gw.close()
+
     def test_constructor_validation(self, gateway):
         with pytest.raises(ServingError):
             ServingGateway(gateway.fleet, max_inflight=0)
@@ -608,7 +718,7 @@ def _fake_gateway_result():
             "requests_per_s": 48.0, "latency_p50_ms": 5.0,
             "latency_p95_ms": 9.0, "latency_p99_ms": 11.0}
     return {
-        "schema_version": 1, "kind": "gateway-benchmark",
+        "schema_version": 2, "kind": "gateway-benchmark",
         "dataset": "pubmed-sim", "method": "mcond", "budget": 20, "seed": 0,
         "scale": 1.0, "deployment": "original", "batch_mode": "node",
         "router": "round-robin", "replicas": 2, "num_requests": 48,
@@ -629,6 +739,12 @@ def _fake_gateway_result():
                       "events": []},
         "parity": {"paths": {"graph": True, "node": True, "frozen": True},
                    "gateway_bitwise_equal": True},
+        "telemetry": {"replicas": 2, "requests": 48, "repeats": 2,
+                      "instrumented_rps": 49.0, "uninstrumented_rps": 50.0,
+                      "overhead_ratio": 0.98, "parity_bitwise_equal": True,
+                      "slowest_trace_stages": ["admission", "collect",
+                                               "dispatch", "reply", "serve"],
+                      "slowest_has_all_stages": True},
     }
 
 
@@ -637,7 +753,7 @@ class TestGatewayBenchContract:
         check_gateway_benchmark_schema(_fake_gateway_result())
 
     @pytest.mark.parametrize("key", ["throughput", "shedding", "autoscale",
-                                     "parity"])
+                                     "parity", "telemetry"])
     def test_schema_rejects_missing_sections(self, key):
         result = _fake_gateway_result()
         del result[key]
@@ -701,6 +817,25 @@ class TestGatewayBenchContract:
         result["parity"]["gateway_bitwise_equal"] = False
         assert any("bitwise" in f for f in gate_gateway_benchmark(result))
 
+    def test_gate_fails_expensive_telemetry(self):
+        result = _fake_gateway_result()
+        result["telemetry"]["overhead_ratio"] = 0.9
+        assert any("uninstrumented" in f
+                   for f in gate_gateway_benchmark(result))
+        assert gate_gateway_benchmark(result, min_telemetry_ratio=0.85) == []
+
+    def test_gate_fails_telemetry_changing_logits(self):
+        result = _fake_gateway_result()
+        result["telemetry"]["parity_bitwise_equal"] = False
+        assert any("telemetry changed" in f
+                   for f in gate_gateway_benchmark(result))
+
+    def test_gate_fails_incomplete_slowest_trace(self):
+        result = _fake_gateway_result()
+        result["telemetry"]["slowest_has_all_stages"] = False
+        result["telemetry"]["slowest_trace_stages"] = ["admission"]
+        assert any("missing" in f for f in gate_gateway_benchmark(result))
+
 
 # ----------------------------------------------------------------------
 # CLI
@@ -726,6 +861,19 @@ class TestGatewayCli:
         path = tmp_path / "BENCH_gateway.json"
         path.write_text(json.dumps(result))
         assert main(["bench-schema", str(path)]) == 2
+
+    def test_top_polls_live_gateway(self, capsys, gateway, gw_requests):
+        with GatewayClient(*gateway.address, encoding="binary") as client:
+            assert client.serve_batch(gw_requests[0]).ok
+        assert main(["top", "--host", gateway.host,
+                     "--port", str(gateway.port)]) == 0
+        out = capsys.readouterr().out
+        assert "gateway" in out and "fleet" in out
+        assert "admission" in out and "p95 ms" in out
+
+    def test_top_unreachable_port_exits_2(self, capsys):
+        assert main(["top", "--port", "1"]) == 2
+        assert "cannot scrape" in capsys.readouterr().err
 
     def test_serve_gateway_bad_artifact_exits_2(self, capsys, tmp_path):
         bad = tmp_path / "bad.npz"
