@@ -52,7 +52,12 @@ from repro.graph.graph import Graph
 from repro.inference.engine import InductiveServer, InferenceReport
 from repro.nn.metrics import accuracy as _accuracy
 from repro.nn.models import GNNModel, make_model
-from repro.serving.prepared import PreparedDeployment
+from repro.serving.prepared import (
+    PRECISIONS,
+    PreparedDeployment,
+    _dequantize,
+    _quantize_columns,
+)
 from repro.serving.runtime import ServingRuntime
 from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
@@ -160,6 +165,13 @@ class DeploymentBundle:
     metadata:
         Provenance: dataset/seed/scale, method, budget, profile, library
         version.  ``serve`` uses it to regenerate evaluation batches.
+    precision:
+        Numeric serving mode the artifact carries: ``"float64"``
+        (default, bitwise parity), ``"float32"``, or ``"int8"``.
+        Reduced modes store the artifact's float arrays narrowed
+        (float32, with int8 + per-column absmax scales for feature
+        matrices) and make :meth:`prepare` default to the same mode —
+        see ``docs/precision.md``.
     """
 
     model_name: str
@@ -169,12 +181,17 @@ class DeploymentBundle:
     condensed: CondensedGraph | None = None
     base: Graph | None = None
     metadata: dict = field(default_factory=dict)
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         if self.deployment not in ("original", "synthetic"):
             raise ConfigError(
                 f"deployment must be 'original' or 'synthetic', "
                 f"got {self.deployment!r}")
+        if self.precision not in PRECISIONS:
+            raise ConfigError(
+                f"precision must be one of {', '.join(PRECISIONS)}, "
+                f"got {self.precision!r}")
         if self.deployment == "synthetic" and self.condensed is None:
             raise ConfigError("synthetic deployment requires a condensed graph")
         if self.deployment == "original" and self.base is None:
@@ -206,9 +223,17 @@ class DeploymentBundle:
         return InductiveServer(self.model(), self.deployment, self.base,
                                self.condensed)
 
-    def prepare(self) -> PreparedDeployment:
-        """The request-invariant serving cache for this bundle."""
-        return PreparedDeployment.from_bundle(self)
+    def prepare(self, *, precision: str | None = None,
+                fused: bool = True) -> PreparedDeployment:
+        """The request-invariant serving cache for this bundle.
+
+        ``precision=None`` uses the bundle's own mode (``"float64"``
+        unless the artifact was saved reduced); pass ``"float32"`` or
+        ``"int8"`` to opt into a reduced-precision serving cache — see
+        :mod:`repro.serving.prepared` for the mode semantics.
+        """
+        return PreparedDeployment.from_bundle(self, precision=precision,
+                                              fused=fused)
 
     def serve(self, batches=None, *, batch_mode: str = "graph",
               batch_size: int = 1000) -> InferenceReport:
@@ -225,7 +250,8 @@ class DeploymentBundle:
     # ------------------------------------------------------------------
     # Persistence — one .npz per bundle, extending CondensedGraph's scheme.
     # ------------------------------------------------------------------
-    def save(self, path: str | Path, *, layout: str = "compressed") -> Path:
+    def save(self, path: str | Path, *, layout: str = "compressed",
+             precision: str | None = None) -> Path:
         """Persist the bundle; returns the normalized ``.npz`` path.
 
         ``layout="compressed"`` (default) deflates the archive — the
@@ -233,10 +259,23 @@ class DeploymentBundle:
         :meth:`load` with ``mmap=True`` can map them zero-copy: every
         serving replica on a host then shares one page-cache copy of the
         arrays instead of holding a private decompressed one.
+
+        ``precision`` (default: the bundle's own mode) narrows the stored
+        arrays: ``"float32"`` halves every float member, ``"int8"``
+        additionally quantizes the feature matrices with per-column
+        absmax scales (~8x smaller features).  The mode is recorded in
+        the artifact metadata, so :meth:`load` + :meth:`prepare` serve in
+        the same mode by default.
         """
         if layout not in ("compressed", "mmap"):
             raise ConfigError(
                 f"layout must be 'compressed' or 'mmap', got {layout!r}")
+        if precision is None:
+            precision = self.precision
+        if precision not in PRECISIONS:
+            raise ConfigError(
+                f"precision must be one of {', '.join(PRECISIONS)}, "
+                f"got {precision!r}")
         target = normalize_npz_path(path)
         meta = {
             "kind": "deployment-bundle",
@@ -244,6 +283,7 @@ class DeploymentBundle:
             "model_config": self.model_config,
             "deployment": self.deployment,
             "metadata": self.metadata,
+            "precision": precision,
         }
         payload: dict[str, np.ndarray] = {
             "format_version": np.asarray(FORMAT_VERSION),
@@ -262,6 +302,8 @@ class DeploymentBundle:
             payload["base::features"] = self.base.features
             if self.base.labels is not None:
                 payload["base::labels"] = self.base.labels
+        if precision != "float64":
+            payload = _narrow_payload(payload, precision)
         return save_npz(target, payload, compressed=(layout == "compressed"))
 
     @classmethod
@@ -287,11 +329,17 @@ class DeploymentBundle:
             if meta.get("kind") != "deployment-bundle":
                 raise ArtifactError(
                     f"{target} has unexpected artifact kind {meta.get('kind')!r}")
+            precision = meta.get("precision", "float64")
             state = {name[len("param::"):]: archive[name]
                      for name in archive.files if name.startswith("param::")}
+            if precision != "float64":
+                # widening float32 weights is exact; model math runs float64
+                state = {name: np.asarray(value, dtype=np.float64)
+                         for name, value in state.items()}
             condensed = None
             if "condensed::adjacency" in archive.files:
-                condensed = CondensedGraph.from_payload(archive, "condensed::")
+                condensed = CondensedGraph.from_payload(
+                    _widened_archive(archive, precision), "condensed::")
             base = None
             if "base::features" in archive.files:
                 shape = tuple(int(v) for v in archive["base::adj_shape"])
@@ -301,14 +349,19 @@ class DeploymentBundle:
                     shape=shape).tocsr()
                 labels = (archive["base::labels"]
                           if "base::labels" in archive.files else None)
-                base = Graph(adjacency, archive["base::features"], labels)
+                features = archive["base::features"]
+                if "base::features_scale" in archive.files:
+                    features = _dequantize(features,
+                                           archive["base::features_scale"])
+                base = Graph(adjacency, features, labels)
             return cls(model_name=meta["model_name"],
                        model_config=meta["model_config"],
                        state=state,
                        deployment=meta["deployment"],
                        condensed=condensed,
                        base=base,
-                       metadata=meta.get("metadata", {}))
+                       metadata=meta.get("metadata", {}),
+                       precision=precision)
 
     def __repr__(self) -> str:
         graph = (f"condensed={self.condensed.num_nodes} nodes"
@@ -317,6 +370,44 @@ class DeploymentBundle:
         return (f"DeploymentBundle(model={self.model_name!r}, "
                 f"deployment={self.deployment!r}, {graph}, "
                 f"method={self.metadata.get('method')!r})")
+
+
+#: Feature matrices that int8 artifacts store quantized (with a sibling
+#: ``<name>_scale`` per-column absmax row).
+_QUANTIZED_MEMBERS = ("base::features", "condensed::features")
+
+
+def _narrow_payload(payload: dict, precision: str) -> dict:
+    """Narrow a bundle payload's float64 members for a reduced artifact.
+
+    float32 mode halves every float member; int8 mode additionally
+    quantizes the feature matrices column-wise.  Integer arrays (indices,
+    labels, shapes) and the metadata strings pass through untouched.
+    """
+    narrowed: dict[str, np.ndarray] = {}
+    for name, value in payload.items():
+        array = np.asarray(value)
+        if array.dtype == np.float64:
+            if precision == "int8" and name in _QUANTIZED_MEMBERS:
+                q, scale = _quantize_columns(array)
+                narrowed[name] = q
+                narrowed[f"{name}_scale"] = scale
+                continue
+            array = array.astype(np.float32)
+        narrowed[name] = array
+    return narrowed
+
+
+def _widened_archive(archive, precision: str):
+    """Dequantize int8 condensed features so ``from_payload`` can rebuild."""
+    if precision != "int8" or "condensed::features_scale" not in archive.files:
+        return archive
+    members = {name: archive[name] for name in archive.files
+               if name.startswith("condensed::")}
+    members["condensed::features"] = _dequantize(
+        members["condensed::features"],
+        members.pop("condensed::features_scale"))
+    return members
 
 
 # ----------------------------------------------------------------------
@@ -481,7 +572,8 @@ def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
                router: str = "round-robin", batch_mode: str = "node",
                mmap: bool = True, start_method: str | None = None,
                telemetry: bool = True,
-               slow_trace_ms: float | None = None):
+               slow_trace_ms: float | None = None,
+               precision: str | None = None):
     """Open a multi-replica :class:`~repro.serving.fleet.ServingFleet`.
 
     ``bundle`` is normally a path to a saved artifact — each replica
@@ -491,6 +583,10 @@ def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
     with ``bundle.save(path, layout="mmap")`` to make every member
     mappable.  An in-memory :class:`DeploymentBundle` is persisted to a
     temporary mmap-layout artifact first (removed when the fleet closes).
+
+    ``precision`` selects the replicas' numeric serving mode
+    (``"float64"``/``"float32"``/``"int8"``); ``None`` (default) keeps
+    the mode recorded in the artifact.
 
     >>> fleet = api.open_fleet("artifact.npz", replicas=4)  # doctest: +SKIP
     >>> with fleet:                                         # doctest: +SKIP
@@ -513,7 +609,8 @@ def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
         fleet = ServingFleet(artifact, replicas, router=router,
                              batch_mode=batch_mode, mmap=mmap,
                              start_method=start_method, telemetry=telemetry,
-                             slow_trace_ms=slow_trace_ms)
+                             slow_trace_ms=slow_trace_ms,
+                             precision=precision)
     except Exception:
         if owns:
             artifact.unlink(missing_ok=True)
@@ -534,7 +631,8 @@ def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
                  autoscale_interval: float = 0.25,
                  scale_cooldown: float = 2.0, start: bool = True,
                  telemetry: bool = True,
-                 slow_trace_ms: float | None = None):
+                 slow_trace_ms: float | None = None,
+                 precision: str | None = None):
     """Open a network :class:`~repro.serving.gateway.ServingGateway`.
 
     Builds a fleet exactly like :func:`open_fleet` and puts the TCP
@@ -549,7 +647,8 @@ def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
     the replica pool from queue depth and rolling p95.  The gateway owns
     the fleet: closing it closes the fleet (and removes a temp artifact
     if ``bundle`` was in-memory).  With ``port=0`` the OS picks a free
-    port; read ``gateway.port`` after start.
+    port; read ``gateway.port`` after start.  ``precision`` is forwarded
+    to the fleet replicas (see :func:`open_fleet`).
 
     >>> gw = api.open_gateway("artifact.npz", replicas=2,  # doctest: +SKIP
     ...                       scale_policy="queue-depth")
@@ -567,7 +666,7 @@ def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
     fleet = open_fleet(bundle, replicas, router=router,
                        batch_mode=batch_mode, mmap=mmap,
                        start_method=start_method, telemetry=telemetry,
-                       slow_trace_ms=slow_trace_ms)
+                       slow_trace_ms=slow_trace_ms, precision=precision)
     try:
         gateway = ServingGateway(
             fleet, host=host, port=port, shed_policy=shed,

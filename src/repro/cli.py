@@ -108,6 +108,15 @@ def build_parser() -> argparse.ArgumentParser:
                                "mmap (uncompressed members that serving "
                                "replicas can memory-map zero-copy); "
                                "default: compressed")
+    condense.add_argument("--precision",
+                          choices=("float64", "float32", "int8"),
+                          default="float64",
+                          help="numeric precision recorded in the saved "
+                               "artifact: float64 keeps bitwise serve "
+                               "parity, float32 halves artifact payloads, "
+                               "int8 additionally quantizes stored features "
+                               "with per-column absmax calibration "
+                               "(default: float64)")
 
     serve = sub.add_parser(
         "serve",
@@ -253,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--no-mmap", dest="mmap", action="store_false",
                        help="load the artifact eagerly in every replica "
                             "instead of memory-mapping it")
+    fleet.add_argument("--precision",
+                       choices=("float64", "float32", "int8"), default=None,
+                       help="numeric serving mode override; default keeps "
+                            "the mode recorded in the artifact")
     fleet.add_argument("--kill-one", action="store_true",
                        help="failover drill: kill one replica mid-stream "
                             "and report re-routing stats")
@@ -303,6 +316,10 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--no-mmap", dest="mmap", action="store_false",
                          help="load the artifact eagerly in every replica "
                               "instead of memory-mapping it")
+    gateway.add_argument("--precision",
+                         choices=("float64", "float32", "int8"), default=None,
+                         help="numeric serving mode override; default keeps "
+                              "the mode recorded in the artifact")
 
     top = sub.add_parser(
         "top",
@@ -452,6 +469,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also benchmark the whole-graph deployment")
     bench.add_argument("--output", default="BENCH_serving.json",
                        help="output JSON path (default: BENCH_serving.json)")
+    bench.add_argument("--gate", action="store_true",
+                       help="fail (exit 1) unless the precision axis holds: "
+                            "fused float64 bitwise parity, the float32 "
+                            "frozen-path speedup floor, the reduced-mode "
+                            "accuracy budget, and the int8 artifact ceiling")
+    bench.add_argument("--min-float32-speedup", type=float, default=1.15,
+                       help="float32 frozen-path speedup the --gate "
+                            "requires over float64 (default: 1.15)")
+    bench.add_argument("--max-accuracy-drop", type=float, default=0.5,
+                       help="accuracy-point budget for reduced precision "
+                            "modes under --gate (default: 0.5)")
+    bench.add_argument("--max-int8-bytes-ratio", type=float, default=0.5,
+                       help="int8/float64 artifact size ceiling under "
+                            "--gate (default: 0.5)")
 
     bench_condense = sub.add_parser(
         "bench-condense",
@@ -598,8 +629,10 @@ def _cmd_condense(args) -> int:
         print(f"condensed: {bundle.condensed!r}")
     print(f"deployment storage: {bundle.storage_bytes() / 1024:.1f} KB")
     if args.output:
-        path = bundle.save(args.output, layout=args.layout)
-        print(f"wrote {path} ({args.layout} layout)")
+        path = bundle.save(args.output, layout=args.layout,
+                           precision=args.precision)
+        print(f"wrote {path} ({args.layout} layout, "
+              f"{args.precision} precision)")
     return 0
 
 
@@ -707,7 +740,8 @@ def _cmd_serve_fleet(args) -> int:
     batch = api.evaluation_batch(bundle)
     requests = split_requests(batch, args.requests, args.nodes_per_request)
     fleet = api.open_fleet(args.artifact, args.replicas, router=args.router,
-                           batch_mode=args.batch_mode, mmap=args.mmap)
+                           batch_mode=args.batch_mode, mmap=args.mmap,
+                           precision=args.precision)
     with fleet:
         import time
         started = time.perf_counter()
@@ -729,9 +763,10 @@ def _cmd_serve_fleet(args) -> int:
         stats = fleet.stats()
     served = sum(result is not None for result in results)
     loading = "memory-mapped" if args.mmap else "eagerly loaded"
+    mode = args.precision or "artifact default"
     print(f"served {served}/{len(requests)} requests across "
           f"{args.replicas} replicas ({loading} artifact, "
-          f"{args.router} router)")
+          f"{args.router} router, {mode} precision)")
     print(f"  throughput            {served / wall:.0f} req/s")
     p50, p95 = stats["latency_p50_ms"], stats["latency_p95_ms"]
     if p50 is not None:
@@ -762,7 +797,7 @@ def _cmd_serve_gateway(args) -> int:
         shed_policy=shed, max_inflight=args.max_inflight,
         scale_policy=scale, scale_options=scale_options,
         autoscale_interval=args.autoscale_interval,
-        scale_cooldown=args.scale_cooldown)
+        scale_cooldown=args.scale_cooldown, precision=args.precision)
     stop = threading.Event()
 
     def _request_stop(signum, frame):
@@ -1072,6 +1107,7 @@ def _cmd_bench_stream(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.serving import (
         check_benchmark_schema,
+        gate_serving_benchmark,
         run_serving_benchmark,
         write_benchmark_json,
     )
@@ -1096,7 +1132,32 @@ def _cmd_bench(args) -> int:
               f"{runtime['latency_p99_ms']:.2f} ms, "
               f"{runtime['throughput_rps']:.0f} req/s")
     print(f"bitwise parity: {result['parity']['cached_bitwise_equal']}")
+    precision = result["precision"]
+    print(f"precision axis (frozen path, {precision['eval_nodes']} eval "
+          f"nodes, fused float64 bitwise "
+          f"{'ok' if precision['fused_bitwise_equal'] else 'BROKEN'}):")
+    for mode, entry in precision["modes"].items():
+        extra = ""
+        if "speedup_vs_float64" in entry:
+            extra = (f", {entry['speedup_vs_float64']:.2f}x vs float64, "
+                     f"drop {entry['accuracy_drop_pts']:.2f} pts, "
+                     f"{entry['artifact_bytes_ratio']:.2f}x bytes")
+        print(f"  {mode:<8} {entry['mean_ms']:.2f} ms, "
+              f"{entry['throughput_nodes_per_s']:.0f} nodes/s, "
+              f"{entry['artifact_bytes'] / 1024:.0f} KB artifact, "
+              f"acc {entry['accuracy']:.4f}{extra}")
     print(f"wrote {path}")
+    if args.gate:
+        failures = gate_serving_benchmark(
+            result, min_float32_speedup=args.min_float32_speedup,
+            max_accuracy_drop=args.max_accuracy_drop,
+            max_int8_bytes_ratio=args.max_int8_bytes_ratio)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}")
+            return 1
+        print("gate passed: fused parity, float32 speedup, accuracy "
+              "budget, int8 size ceiling")
     return 0
 
 
@@ -1172,6 +1233,19 @@ def _print_report(report) -> None:
     print(f"  serving memory    {report.memory_megabytes:.3f} MB")
 
 
+def _entry_help(entry) -> str:
+    """One-line help for a registry entry.
+
+    Entries registered without a description (no docstring on the class)
+    fall back to the factory's name rather than printing ``None``/blank.
+    """
+    description = getattr(entry, "description", None)
+    if description:
+        return str(description)
+    factory = getattr(entry, "factory", None)
+    return getattr(factory, "__name__", type(entry).__name__)
+
+
 def _cmd_list(args) -> int:
     import repro.serving  # noqa: F401 — populates scheduler/workload registries
     from repro.graph.partition import PARTITIONERS
@@ -1180,29 +1254,29 @@ def _cmd_list(args) -> int:
 
     print("reduction methods (repro condense --method):")
     for name, entry in REDUCERS.items():
-        print(f"  {name:<10} {entry.description}")
+        print(f"  {name:<10} {_entry_help(entry)}")
     print("\ngraph partitioners (repro condense --shards K --partitioner):")
     for name, entry in PARTITIONERS.items():
-        print(f"  {name:<10} {entry.description}")
+        print(f"  {name:<10} {_entry_help(entry)}")
     print("\nmodel architectures (--model):")
     print(f"  {', '.join(MODELS.keys())}")
     print("\ndatasets (--dataset):")
     print(f"  {', '.join(DATASETS.keys())}")
     print("\nmicro-batch schedulers (repro serve-online --scheduler):")
     for name, entry in SCHEDULERS.items():
-        print(f"  {name:<10} {entry.description}")
+        print(f"  {name:<10} {_entry_help(entry)}")
     print("\nworkload generators (repro serve-online --workload):")
     for name, entry in WORKLOADS.items():
-        print(f"  {name:<10} {entry.description}")
+        print(f"  {name:<10} {_entry_help(entry)}")
     print("\nfleet routing policies (repro serve-fleet --router):")
     for name, entry in ROUTERS.items():
-        print(f"  {name:<16} {entry.description}")
+        print(f"  {name:<16} {_entry_help(entry)}")
     print("\ngateway shed policies (repro serve-gateway --shed-policy):")
     for name, entry in SHED_POLICIES.items():
-        print(f"  {name:<16} {entry.description}")
+        print(f"  {name:<16} {_entry_help(entry)}")
     print("\ngateway scale policies (repro serve-gateway --scale-policy):")
     for name, entry in SCALE_POLICIES.items():
-        print(f"  {name:<16} {entry.description}")
+        print(f"  {name:<16} {_entry_help(entry)}")
     print("\ntable-II method columns (repro eval --method):")
     for name, spec in METHODS.items():
         print(f"  {name:<10} {spec.setting}")

@@ -68,6 +68,7 @@ from repro.serving.workload import (
 from repro.serving.bench import (
     BENCH_SCHEMA_VERSION,
     check_benchmark_schema,
+    gate_serving_benchmark,
     run_serving_benchmark,
     write_benchmark_json,
 )
@@ -120,7 +121,7 @@ __all__ = [
     "WorkloadGenerator", "PoissonWorkload", "BurstyWorkload", "RampWorkload",
     "split_requests", "replay", "replay_stream",
     "BENCH_SCHEMA_VERSION", "run_serving_benchmark", "write_benchmark_json",
-    "check_benchmark_schema",
+    "check_benchmark_schema", "gate_serving_benchmark",
     "STREAM_BENCH_SCHEMA_VERSION", "check_streaming_benchmark_schema",
     "gate_streaming_benchmark", "run_streaming_benchmark",
     "ServingFleet", "ReplicaPool", "FleetFuture", "Router",

@@ -18,24 +18,36 @@ the history of this file across commits.
 Per-batch latency is the **best of ``repeats`` runs** (discarding OS
 scheduler noise), and the reported mean averages those minima across
 batches; percentiles come from the shared quantile helper.
+
+Since schema version 2 the result also carries a **precision axis**
+(``result["precision"]``): the frozen path of an original-graph
+deployment re-measured under every numeric serving mode (float64 /
+float32 / int8 — see ``docs/precision.md``), reporting latency,
+throughput, artifact bytes, and eval-batch accuracy per mode, plus a
+fused-vs-unfused float64 bitwise check.  :func:`gate_serving_benchmark`
+turns that section into the CI perf gate.
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 import numpy as np
 
 from repro.errors import ServingError
 from repro.inference.benchmark import TimingStats
 from repro.inference.engine import InductiveServer
-from repro.serving.prepared import PreparedDeployment
+from repro.serving.prepared import PRECISIONS, PreparedDeployment
 from repro.serving.runtime import ServingRuntime
 from repro.serving.workload import split_requests, replay
 from repro.utils.reports import write_benchmark_json
 
 __all__ = ["BENCH_SCHEMA_VERSION", "run_serving_benchmark",
-           "write_benchmark_json", "check_benchmark_schema"]
+           "write_benchmark_json", "check_benchmark_schema",
+           "gate_serving_benchmark"]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 _PATH_KEYS = ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "batches",
               "memory_bytes")
@@ -115,6 +127,14 @@ def run_serving_benchmark(dataset: str = "pubmed-sim", *,
         result["deployments"]["original"] = _bench_deployment(
             whole, requests, batch_mode, max_batch_size, repeats)
 
+    # precision axis: the frozen path of an original-graph deployment
+    # (the base graph is big enough there for bandwidth effects to show)
+    # re-measured under every numeric serving mode
+    original = api.deploy(dataset, method, budget, seed=seed, scale=scale,
+                          profile=profile, deployment="original")
+    result["precision"] = _bench_precision(
+        original, api.evaluation_batch(original), batch_mode, repeats)
+
     # top-level parity aggregates over every benchmarked deployment, so a
     # parity break in any path is visible without digging into sections
     deployments = result["deployments"].values()
@@ -177,6 +197,145 @@ def _bench_deployment(bundle, requests, batch_mode: str, max_batch_size: int,
     }
 
 
+_PRECISION_MIN_NODES = 4096
+
+
+def _tile_batch(batch, min_nodes: int):
+    """Stack the eval batch until it is large enough to be bandwidth-bound.
+
+    Small quick-profile eval batches are overhead-dominated, which hides
+    the memory-traffic difference the precision axis exists to measure;
+    tiling preserves per-node semantics (accuracy is unchanged) while
+    making the kernels stream enough data for dtype width to matter.
+    """
+    import scipy.sparse as sp
+
+    from repro.serving.runtime import IncrementalBatch
+
+    nodes = int(batch.features.shape[0])
+    tiles = max(1, -(-min_nodes // nodes))
+    if tiles == 1:
+        return batch, 1
+    tiled = IncrementalBatch(
+        features=np.vstack([batch.features] * tiles),
+        incremental=sp.vstack([batch.incremental] * tiles).tocsr(),
+        intra=sp.block_diag([batch.intra] * tiles).tocsr(),
+        labels=np.concatenate([batch.labels] * tiles))
+    return tiled, tiles
+
+
+def _bench_precision(bundle, batch, batch_mode: str, repeats: int) -> dict:
+    """Measure the frozen path under every numeric serving mode.
+
+    Each mode is exercised exactly the way production would see it: the
+    bundle is saved at that precision, re-loaded from the artifact, and
+    served through :meth:`PreparedDeployment.serve_batch_frozen` on the
+    full (tiled) evaluation batch — one large bandwidth-bound request.
+    float64 additionally cross-checks the fused kernels against the
+    unfused reference bitwise.
+    """
+    from repro import api  # local import: serving must stay facade-independent
+
+    batch, tiles = _tile_batch(batch, _PRECISION_MIN_NODES)
+    labels = np.asarray(batch.labels)
+    nodes = int(batch.features.shape[0])
+    section = {"deployment": "original", "path": "frozen",
+               "eval_nodes": nodes, "tile_factor": tiles, "modes": {}}
+    baseline = None
+    with tempfile.TemporaryDirectory() as tmp:
+        prepared = {}
+        loaded = {}
+        artifact_bytes = {}
+        for mode in PRECISIONS:
+            path = os.path.join(tmp, f"artifact_{mode}.npz")
+            bundle.save(path, precision=mode)
+            artifact_bytes[mode] = os.path.getsize(path)
+            loaded[mode] = api.DeploymentBundle.load(path)
+            prepared[mode] = loaded[mode].prepare()
+
+        # modes are timed round-robin (not back to back) so clock/cache
+        # drift during the run hits every mode equally, keeping the
+        # speedup ratio honest; best-of still discards scheduler noise
+        best = {mode: np.inf for mode in PRECISIONS}
+        logits = {}
+        memory = {mode: 0 for mode in PRECISIONS}
+        for _ in range(repeats + 2):  # extra passes double as warm-up
+            for mode in PRECISIONS:
+                out, seconds, mem = prepared[mode].serve_batch_frozen(
+                    batch, batch_mode)
+                best[mode] = min(best[mode], seconds)
+                memory[mode] = max(memory[mode], mem)
+                logits[mode] = out
+
+        unfused = loaded["float64"].prepare(fused=False)
+        ref, _, _ = unfused.serve_batch_frozen(batch, batch_mode)
+        section["fused_bitwise_equal"] = bool(
+            np.array_equal(logits["float64"], ref))
+        baseline = None
+        for mode in PRECISIONS:
+            entry = {
+                "artifact_bytes": int(artifact_bytes[mode]),
+                "mean_ms": best[mode] * 1e3,
+                "memory_bytes": int(memory[mode]),
+                "throughput_nodes_per_s": nodes / best[mode],
+                "accuracy": float(
+                    (logits[mode].argmax(axis=1) == labels).mean()),
+            }
+            if mode == "float64":
+                baseline = entry
+            else:
+                entry["speedup_vs_float64"] = (
+                    baseline["mean_ms"] / entry["mean_ms"])
+                entry["accuracy_drop_pts"] = (
+                    baseline["accuracy"] - entry["accuracy"]) * 100.0
+                entry["artifact_bytes_ratio"] = (
+                    artifact_bytes[mode] / baseline["artifact_bytes"])
+            section["modes"][mode] = entry
+    return section
+
+
+def gate_serving_benchmark(result: dict, *,
+                           min_float32_speedup: float = 1.15,
+                           max_accuracy_drop: float = 0.5,
+                           max_int8_bytes_ratio: float = 0.5) -> list[str]:
+    """The CI perf gate over the precision axis (empty list = pass).
+
+    Enforced invariants: the fused float64 frozen path stays bitwise
+    identical to the unfused baseline, float32 beats float64 throughput
+    by ``min_float32_speedup`` on the frozen path, reduced modes stay
+    within ``max_accuracy_drop`` accuracy points of float64, and the
+    int8 artifact shrinks to at most ``max_int8_bytes_ratio`` of the
+    float64 artifact.
+    """
+    check_benchmark_schema(result)
+    failures: list[str] = []
+    if not result["parity"]["cached_bitwise_equal"]:
+        failures.append("cached path lost bitwise parity with the "
+                        "uncached baseline")
+    precision = result["precision"]
+    if not precision.get("fused_bitwise_equal"):
+        failures.append("fused float64 frozen path is not bitwise "
+                        "identical to the unfused baseline")
+    modes = precision["modes"]
+    speedup = modes["float32"]["speedup_vs_float64"]
+    if speedup < min_float32_speedup:
+        failures.append(
+            f"float32 frozen speedup {speedup:.2f}x is below the "
+            f"{min_float32_speedup:.2f}x floor")
+    for mode in ("float32", "int8"):
+        drop = modes[mode]["accuracy_drop_pts"]
+        if drop > max_accuracy_drop:
+            failures.append(
+                f"{mode} accuracy drop {drop:.2f} points exceeds the "
+                f"{max_accuracy_drop:.2f}-point budget")
+    ratio = modes["int8"]["artifact_bytes_ratio"]
+    if ratio > max_int8_bytes_ratio:
+        failures.append(
+            f"int8 artifact is {ratio:.2f}x the float64 artifact, above "
+            f"the {max_int8_bytes_ratio:.2f}x ceiling")
+    return failures
+
+
 def _as_request(batch):
     from repro.serving.runtime import Request
     return Request(features=np.asarray(batch.features, dtype=np.float64),
@@ -220,3 +379,28 @@ def check_benchmark_schema(result: dict) -> None:
         if runtime_missing:
             raise ServingError(
                 f"deployment {name!r} runtime misses {runtime_missing}")
+    if result["schema_version"] >= 2:
+        precision = result.get("precision")
+        if not isinstance(precision, dict):
+            raise ServingError("schema v2 benchmark misses the precision "
+                               "section")
+        if "fused_bitwise_equal" not in precision:
+            raise ServingError(
+                "precision section misses fused_bitwise_equal")
+        modes = precision.get("modes", {})
+        missing_modes = [m for m in ("float64", "float32", "int8")
+                         if m not in modes]
+        if missing_modes:
+            raise ServingError(f"precision section misses modes: "
+                               f"{missing_modes}")
+        mode_keys = ("artifact_bytes", "mean_ms", "memory_bytes",
+                     "throughput_nodes_per_s", "accuracy")
+        reduced_keys = ("speedup_vs_float64", "accuracy_drop_pts",
+                        "artifact_bytes_ratio")
+        for mode, entry in modes.items():
+            required = mode_keys if mode == "float64" else (
+                mode_keys + reduced_keys)
+            mode_missing = [key for key in required if key not in entry]
+            if mode_missing:
+                raise ServingError(
+                    f"precision mode {mode!r} misses {mode_missing}")

@@ -35,6 +35,36 @@ mirrored here:
 Because the assembled operator matches the naive one in stored order and
 bit pattern, and model forwards fold in stored order, the served logits
 are bitwise identical — verified by the parity tests.
+
+Precision modes
+---------------
+The cache can be built in one of three numeric modes (``precision``):
+
+- ``"float64"`` (default) — the exactness contract above holds end to
+  end; this is the only mode that supports streaming deltas.
+- ``"float32"`` — the standalone operator, the base features, and the
+  propagated K-hop caches are cast to float32 once at prepare time
+  (~2x memory bandwidth on the frozen path); logits are gated by an
+  accuracy delta against float64, not bitwise parity.
+- ``"int8"`` — the frozen K-hop feature caches are quantized with a
+  per-column absmax calibration step at prepare time and dequantized on
+  gather; everything else behaves like ``"float32"``.
+
+Zero-degree masking is dtype-independent: :func:`_inv_sqrt` leaves
+zero-degree rows at exactly ``0.0`` in every mode (the reduced modes
+inherit the float64 mask by casting, never by recomputing in low
+precision), so isolated nodes serve identically across modes.
+
+Fused kernels
+-------------
+The frozen fast path applies the ``D^-1/2`` row/col scaling in a single
+traversal of each block's CSR arrays (:func:`_fused_scale`) instead of
+materializing scaled operator copies, and cache-blocks the base-row
+gather: the SpMV's dense operand shrinks to just the hop rows the batch
+references.  Both transformations preserve the per-entry multiply order
+and scipy's per-row fold order, so the fused float64 path is bitwise
+identical to the unfused baseline (``fused=False``, kept as the
+reference the benchmark gate compares against).
 """
 
 from __future__ import annotations
@@ -64,7 +94,10 @@ from repro.telemetry import stage_span
 from repro.tensor.sparse import sparse_memory_bytes
 from repro.tensor.tensor import Tensor, no_grad
 
-__all__ = ["PreparedDeployment", "DeltaRefreshReport"]
+__all__ = ["PreparedDeployment", "DeltaRefreshReport", "PRECISIONS"]
+
+#: Supported numeric serving modes, in decreasing storage width.
+PRECISIONS = ("float64", "float32", "int8")
 
 
 @dataclass(frozen=True)
@@ -131,11 +164,55 @@ def _inv_sqrt(degree: np.ndarray) -> np.ndarray:
     return inv
 
 
-def _csr_storage_bytes(nnz: int, rows: int, cols: int) -> int:
+def _csr_storage_bytes(nnz: int, rows: int, cols: int,
+                       value_bytes: int = 8) -> int:
     """Storage of a CSR matrix as scipy would build it (int32 indices when
     they fit, which mirrors ``sp.bmat``'s index-dtype choice)."""
     index_bytes = 4 if max(nnz, rows, cols) < np.iinfo(np.int32).max else 8
-    return nnz * (8 + index_bytes) + (rows + 1) * index_bytes
+    return nnz * (value_bytes + index_bytes) + (rows + 1) * index_bytes
+
+
+def _fused_scale(block: sp.csr_matrix, inv_row: np.ndarray,
+                 inv_col: np.ndarray, dtype) -> np.ndarray:
+    """Single-pass ``D^-1/2`` row/col scaling of one CSR block's data.
+
+    One traversal of the block's ``indptr``/``indices``/``data``: every
+    stored entry ``a_ij`` becomes ``(inv_row[i] * a_ij) * inv_col[j]``,
+    written into a fresh scratch buffer — the block's index structure is
+    never copied (the unfused baseline materializes whole scaled operator
+    copies instead).  The multiply order matches the exactness contract,
+    so a downstream SpMV over this buffer is bitwise identical to the
+    unfused path in float64.  Zero entries of ``inv_row``/``inv_col``
+    (zero-degree masking) propagate exact zeros in every dtype.
+    """
+    rows = np.repeat(np.arange(block.shape[0], dtype=np.int64),
+                     np.diff(block.indptr))
+    data = block.data.astype(dtype, copy=False)
+    return (inv_row[rows] * data) * inv_col[block.indices]
+
+
+def _quantize_columns(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-column absmax int8 quantization: ``(q, scale)``.
+
+    ``scale[j] = absmax(column j) / 127`` (1.0 for all-zero columns, so
+    dequantization is well-defined), ``q = round(matrix / scale)`` clipped
+    to ``[-127, 127]``.  Dequantize as ``q.astype(float32) * scale``;
+    exact zeros quantize to exactly 0 and dequantize to exactly 0.0, which
+    keeps zero-degree masking semantics intact.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.size:
+        absmax = np.abs(matrix).max(axis=0)
+    else:
+        absmax = np.zeros(matrix.shape[1], dtype=np.float64)
+    scale = np.where(absmax > 0, absmax / 127.0, 1.0).astype(np.float32)
+    q = np.clip(np.rint(matrix / scale), -127, 127).astype(np.int8)
+    return q, scale
+
+
+def _dequantize(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_quantize_columns`, in float32."""
+    return q.astype(np.float32) * scale
 
 
 class PreparedDeployment:
@@ -143,15 +220,26 @@ class PreparedDeployment:
 
     Parameters mirror :class:`repro.inference.engine.InductiveServer`:
     a trained model, a ``deployment`` kind, and the graph it serves on.
+    ``precision`` selects the numeric mode (see the module docstring);
+    ``fused=False`` keeps the unfused frozen-path baseline that the
+    benchmark's bitwise gate compares the fused kernels against.
     """
 
     def __init__(self, model: GNNModel, deployment: str, base: Graph | None,
-                 condensed: CondensedGraph | None = None) -> None:
+                 condensed: CondensedGraph | None = None, *,
+                 precision: str = "float64", fused: bool = True) -> None:
         validate_deployment(deployment, base, condensed)
+        if precision not in PRECISIONS:
+            raise ServingError(
+                f"precision must be one of {', '.join(PRECISIONS)}, "
+                f"got {precision!r}")
         self.model = model
         self.deployment = deployment
         self.base = base
         self.condensed = condensed
+        self.precision = precision
+        self._fused = bool(fused)
+        self._dtype = np.float64 if precision == "float64" else np.float32
         if deployment == "synthetic":
             raw = condensed.sparse_adjacency()
             raw_features = condensed.features
@@ -168,7 +256,8 @@ class PreparedDeployment:
         self.base_loops.sort_indices()
         self.num_base = int(self.base_loops.shape[0])
         self._base_counts = np.diff(self.base_loops.indptr)
-        self.base_features = np.ascontiguousarray(raw_features, dtype=np.float64)
+        self.base_features = np.ascontiguousarray(raw_features,
+                                                  dtype=self._dtype)
         if self.base_features.shape[0] != self.num_base:
             raise GraphError(
                 f"base features rows ({self.base_features.shape[0]}) != "
@@ -184,15 +273,32 @@ class PreparedDeployment:
         self._hop_buffers: list[np.ndarray] | None = None
         self._base_logits: np.ndarray | None = None
         self._frozen_inv_base: np.ndarray | None = None
+        #: int8 mode: per-hop ``(q, scale)`` pairs from absmax calibration.
+        self._quantized: list[tuple[np.ndarray, np.ndarray]] | None = None
         # the evolving view of the deployed graph, created on first delta
         self._stream: StreamingGraph | None = None
+        if precision != "float64" and isinstance(model, SGC):
+            # the cast (float32) / calibration (int8) step happens at
+            # prepare time, not on the first frozen request
+            if precision == "int8":
+                self._quantized_hops()
+            else:
+                self.propagated_base_features()
 
     # ------------------------------------------------------------------
     @classmethod
-    def from_bundle(cls, bundle) -> "PreparedDeployment":
-        """Prepare a persisted :class:`repro.api.DeploymentBundle`."""
+    def from_bundle(cls, bundle, *, precision: str | None = None,
+                    fused: bool = True) -> "PreparedDeployment":
+        """Prepare a persisted :class:`repro.api.DeploymentBundle`.
+
+        ``precision=None`` uses the mode the artifact was saved with
+        (``bundle.precision``, ``"float64"`` for bundles predating the
+        precision axis).
+        """
+        if precision is None:
+            precision = getattr(bundle, "precision", "float64") or "float64"
         return cls(bundle.model(), bundle.deployment, bundle.base,
-                   bundle.condensed)
+                   bundle.condensed, precision=precision, fused=fused)
 
     # ------------------------------------------------------------------
     # Exact cached attach + normalize
@@ -203,11 +309,13 @@ class PreparedDeployment:
 
         ``incremental`` is the raw ``(n, N)`` adjacency into the *original*
         graph; for synthetic deployments it is converted through the
-        mapping (Eq. 11) first.  The operator and stacked features are
-        bit-for-bit equal to normalizing the naive ``bmat`` assembly;
+        mapping (Eq. 11) first.  In float64 mode the operator and stacked
+        features are bit-for-bit equal to normalizing the naive ``bmat``
+        assembly; reduced modes cast the assembled operator data and the
+        feature stack to float32 (accuracy-gated, not bitwise).
         ``memory_bytes`` mirrors the naive serving-footprint accounting.
         """
-        new_feats = np.asarray(new_features, dtype=np.float64)
+        new_feats = np.asarray(new_features, dtype=self._dtype)
         if new_feats.ndim != 2 or new_feats.shape[1] != self.feature_dim:
             raise GraphError(
                 f"feature dims differ: base {self.feature_dim} vs new "
@@ -224,6 +332,8 @@ class PreparedDeployment:
         else:
             ea_loops = ea_raw
         operator = self._assemble_normalized(inc, ea_loops)
+        if self._dtype is not np.float64:
+            operator.data = operator.data.astype(self._dtype)
         features = np.vstack([self.base_features, new_feats])
         memory = self._memory_bytes(n, inc_nnz_raw, ea_nnz_raw,
                                     features.shape[0])
@@ -295,12 +405,13 @@ class PreparedDeployment:
 
     def _memory_bytes(self, n: int, inc_nnz: int, ea_nnz: int,
                       feature_rows: int) -> int:
-        """Serving footprint, matching the naive accounting bit for bit:
-        raw augmented adjacency + features (+ mapping)."""
+        """Serving footprint, matching the naive accounting bit for bit in
+        float64 (8-byte values); reduced modes count their 4-byte storage."""
+        value_bytes = int(np.dtype(self._dtype).itemsize)
         attached_nnz = self._raw_nnz + 2 * inc_nnz + ea_nnz
         total = self.num_base + n
-        memory = _csr_storage_bytes(attached_nnz, total, total)
-        memory += feature_rows * self.feature_dim * 8
+        memory = _csr_storage_bytes(attached_nnz, total, total, value_bytes)
+        memory += feature_rows * self.feature_dim * value_bytes
         return memory + self._mapping_bytes
 
     # ------------------------------------------------------------------
@@ -355,6 +466,8 @@ class PreparedDeployment:
         rows = np.repeat(np.arange(self.num_base, dtype=np.int64),
                          self._base_counts)
         data = (inv_sqrt[rows] * loops.data) * inv_sqrt[loops.indices]
+        if self._dtype is not np.float64:
+            data = data.astype(self._dtype)  # the cast-once-at-prepare step
         operator = sp.csr_matrix((data, loops.indices, loops.indptr),
                                  shape=loops.shape)
         operator.has_sorted_indices = True
@@ -403,10 +516,54 @@ class PreparedDeployment:
 
     def _standalone_inv_sqrt_degrees(self) -> np.ndarray:
         """``D^{-1/2}`` of the standalone base graph — request-invariant,
-        computed once for the frozen path."""
+        computed once for the frozen path, in storage dtype (the float64
+        mask is cast, so zero-degree rows stay exactly zero)."""
         if self._frozen_inv_base is None:
-            self._frozen_inv_base = _inv_sqrt(self._degrees())
+            self._frozen_inv_base = _inv_sqrt(self._degrees()).astype(
+                self._dtype, copy=False)
         return self._frozen_inv_base
+
+    def _quantized_hops(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """int8 mode: the per-column absmax calibration of the K-hop caches.
+
+        The float32 hops are propagated once (through the float32
+        standalone operator), quantized column-wise, and only the int8
+        arrays plus their scale rows are retained — ~8x smaller than the
+        float64 caches.  Dequantization happens on gather in
+        :meth:`serve_batch_frozen`.
+        """
+        if self.precision != "int8":
+            raise ServingError(
+                f"quantized hops exist only in int8 mode, "
+                f"not {self.precision!r}")
+        if self._quantized is None:
+            if not isinstance(self.model, SGC):
+                raise ServingError(
+                    "propagated-feature caching needs linear propagation "
+                    f"(SGC); got {type(self.model).__name__}")
+            operator = self.base_operator()
+            hop = self.base_features
+            quantized = [_quantize_columns(hop)]
+            for _ in range(self.model.k_hops):
+                hop = np.asarray(operator @ hop)
+                quantized.append(_quantize_columns(hop))
+            self._quantized = quantized
+        return self._quantized
+
+    def _hop_block(self, k: int, cols: np.ndarray | None) -> np.ndarray:
+        """Rows ``cols`` of hop ``k`` (all rows for ``cols=None``).
+
+        This gather is the cache-blocking step of the frozen path: the
+        SpMV's dense operand shrinks from the full ``(N, d)`` hop array to
+        the contiguous block of rows the batch actually references.  In
+        int8 mode the gathered rows are dequantized here — on gather —
+        with the per-column calibration scale.
+        """
+        if self.precision == "int8":
+            q, scale = self._quantized_hops()[k]
+            return _dequantize(q[cols] if cols is not None else q, scale)
+        hops = self.propagated_base_features()
+        return hops[k][cols] if cols is not None else hops[k]
 
     def serve_batch_frozen(self, batch: IncrementalBatch,
                            batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
@@ -418,15 +575,27 @@ class PreparedDeployment:
         substitute for the base-row forward.  Logits are close to — but
         not bitwise equal to — :meth:`serve_batch`; the exact path stays
         the default.
+
+        The default (fused) kernels scale each block in a single CSR
+        traversal (:func:`_fused_scale`, no materialized operator copies)
+        and cache-block the base-row gather (:meth:`_hop_block`); the
+        float64 fused path is bitwise identical to the unfused baseline
+        (``fused=False``).  Reduced precision modes run this path in
+        float32, dequantizing int8 hop caches on gather.
         """
         if batch_mode not in ("graph", "node"):
             raise InferenceError(
                 f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
-        hops = self.propagated_base_features()  # validates the model too
+        # validates the model and pays any first-touch calibration up front
+        if self.precision == "int8":
+            self._quantized_hops()
+        else:
+            self.propagated_base_features()
         self.model.eval()
+        dtype = self._dtype
         start = time.perf_counter()
         with stage_span("operator"):
-            new_feats = np.asarray(batch.features, dtype=np.float64)
+            new_feats = np.asarray(batch.features, dtype=dtype)
             n = new_feats.shape[0]
             inc = self._converted_incremental(batch.incremental, n)
             inc_nnz_raw = int(inc.nnz)  # before elimination, like attach_normalize
@@ -435,25 +604,43 @@ class PreparedDeployment:
             ea_raw = _canonical_csr(intra, (n, n), "intra adjacency")
             ea_loops = add_self_loops(ea_raw) if n else ea_raw
 
-            # degrees of the *new* rows only; base rows keep standalone
-            # scaling
+            # degrees of the *new* rows only (always float64 — masking
+            # happens before the cast); base rows keep standalone scaling
             deg_new = (np.asarray(inc.sum(axis=1)).reshape(-1)
                        + np.asarray(ea_loops.sum(axis=1)).reshape(-1))
-            inv_new = _inv_sqrt(deg_new)
+            inv_new = _inv_sqrt(deg_new).astype(dtype, copy=False)
             inv_base = self._standalone_inv_sqrt_degrees()
 
-            rows_nb = np.repeat(np.arange(n), np.diff(inc.indptr))
-            op_nb = inc.copy()
-            op_nb.data = (inv_new[rows_nb] * inc.data) * inv_base[inc.indices]
-            rows_nn = np.repeat(np.arange(n), np.diff(ea_loops.indptr))
-            op_nn = ea_loops.copy()
-            op_nn.data = ((inv_new[rows_nn] * ea_loops.data)
-                          * inv_new[ea_loops.indices])
+            nb_data = _fused_scale(inc, inv_new, inv_base, dtype)
+            nn_data = _fused_scale(ea_loops, inv_new, inv_new, dtype)
+            cols: np.ndarray | None = None
+            if self._fused:
+                # zero-copy views share the blocks' index structure
+                op_nn = sp.csr_matrix(
+                    (nn_data, ea_loops.indices, ea_loops.indptr),
+                    shape=(n, n))
+                gathered = np.unique(inc.indices)
+                if gathered.size < self.num_base:
+                    # compress the column space onto the touched base rows
+                    cols = gathered
+                    local = np.searchsorted(cols, inc.indices)
+                    op_nb = sp.csr_matrix((nb_data, local, inc.indptr),
+                                          shape=(n, int(cols.size)))
+                else:
+                    op_nb = sp.csr_matrix((nb_data, inc.indices, inc.indptr),
+                                          shape=inc.shape)
+            else:
+                # unfused baseline: materialized scaled operator copies,
+                # full-width hop SpMVs — the bitwise reference
+                op_nb = inc.copy()
+                op_nb.data = nb_data
+                op_nn = ea_loops.copy()
+                op_nn.data = nn_data
 
         with stage_span("forward"):
             h = new_feats
             for k in range(self.model.k_hops):
-                h = op_nb @ hops[k] + op_nn @ h
+                h = op_nb @ self._hop_block(k, cols) + op_nn @ h
             with no_grad():
                 logits = self.model.classifier(Tensor(h))
         elapsed = time.perf_counter() - start
@@ -489,6 +676,12 @@ class PreparedDeployment:
         if not isinstance(delta, GraphDelta):
             raise ServingError(
                 f"apply_delta needs a GraphDelta, got {type(delta).__name__}")
+        if self.precision != "float64":
+            raise ServingError(
+                "streaming deltas require the float64 (bit-parity) "
+                f"precision mode; this deployment was prepared with "
+                f"precision={self.precision!r} — re-prepare with "
+                "precision='float64' to ingest deltas")
         if not 0.0 <= staleness_threshold <= 1.0:
             raise ServingError(
                 f"staleness_threshold must be in [0, 1], "
@@ -770,4 +963,5 @@ class PreparedDeployment:
     def __repr__(self) -> str:
         return (f"PreparedDeployment(deployment={self.deployment!r}, "
                 f"base_nodes={self.num_base}, "
-                f"model={type(self.model).__name__})")
+                f"model={type(self.model).__name__}, "
+                f"precision={self.precision!r})")

@@ -1,0 +1,116 @@
+"""The docs checker: link resolution, anchors, snippet parsing.
+
+Loads ``tools/check_docs.py`` by path (it is a script, not a package)
+and exercises the pure pieces on synthetic doc trees.  The expensive
+part — replaying every documented ``repro`` invocation in ``--help``
+form — runs in CI's docs job, not here.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs",
+    Path(__file__).resolve().parent.parent / "tools" / "check_docs.py")
+check_docs = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_docs)
+
+
+class TestSlugs:
+    def test_plain_heading(self):
+        assert check_docs.github_slug("Module layout", {}) == "module-layout"
+
+    def test_code_ticks_and_punctuation_dropped(self):
+        assert (check_docs.github_slug("Two knobs named `precision`", {})
+                == "two-knobs-named-precision")
+
+    def test_duplicate_headings_get_suffixes(self):
+        seen = {}
+        assert check_docs.github_slug("Notes", seen) == "notes"
+        assert check_docs.github_slug("Notes", seen) == "notes-1"
+
+    def test_heading_slugs_reads_all_levels(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("# Top\n\ntext\n\n### Deep dive\n")
+        assert check_docs.heading_slugs(doc) == {"top", "deep-dive"}
+
+
+class TestLinks:
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text("# Real heading\n")
+        return tmp_path
+
+    def test_good_links_pass(self, tree, monkeypatch):
+        monkeypatch.setattr(check_docs, "ROOT", tree)
+        readme = tree / "README.md"
+        readme.write_text("[a](docs/a.md) [anchor](docs/a.md#real-heading) "
+                          "[ext](https://example.com/x#y)\n")
+        assert check_docs.check_links(readme, {}) == []
+
+    def test_broken_file_and_anchor_flagged(self, tree, monkeypatch):
+        monkeypatch.setattr(check_docs, "ROOT", tree)
+        readme = tree / "README.md"
+        readme.write_text("[gone](docs/missing.md) [bad](docs/a.md#nope)\n")
+        problems = check_docs.check_links(readme, {})
+        assert len(problems) == 2
+        assert any("docs/missing.md" in p for p in problems)
+        assert any("#nope" in p for p in problems)
+
+    def test_sibling_links_resolve_from_docs_dir(self, tree, monkeypatch):
+        monkeypatch.setattr(check_docs, "ROOT", tree)
+        sibling = tree / "docs" / "b.md"
+        sibling.write_text("[a](a.md#real-heading) [up](../README.md)\n")
+        (tree / "README.md").write_text("# Readme\n")
+        assert check_docs.check_links(sibling, {}) == []
+
+
+class TestSnippetParsing:
+    def _parse(self, tmp_path, text):
+        doc = tmp_path / "doc.md"
+        doc.write_text(text)
+        return check_docs.snippet_invocations(doc)
+
+    def test_only_fenced_repro_lines_count(self, tmp_path):
+        got = self._parse(tmp_path, (
+            "repro outside-fence --x\n"
+            "```bash\n"
+            "repro list\n"
+            "curl -s localhost:80/metrics\n"
+            "# repro commented? still parsed as repro? no: starts with #\n"
+            "```\n"))
+        assert got == [("list", [])]
+
+    def test_line_continuations_joined(self, tmp_path):
+        got = self._parse(tmp_path, (
+            "```bash\n"
+            "repro condense --dataset pubmed-sim \\\n"
+            "               --budget 30 --output art.npz\n"
+            "```\n"))
+        assert got == [("condense", ["--dataset", "--budget", "--output"])]
+
+    def test_flag_values_and_equals_form(self, tmp_path):
+        got = self._parse(tmp_path, (
+            "```bash\n"
+            "repro bench --gate --output=BENCH_serving.json --repeats 3\n"
+            "```\n"))
+        assert got == [("bench", ["--gate", "--output", "--repeats"])]
+
+    def test_repo_docs_reference_real_subcommands(self):
+        # cheap half of the CI drift check: every documented subcommand
+        # must exist in the CLI parser (no subprocesses involved)
+        from repro.cli import build_parser
+        actions = [a for a in build_parser()._actions
+                   if hasattr(a, "choices") and isinstance(a.choices, dict)]
+        known = set(actions[0].choices) if actions else set()
+        assert known, "could not introspect CLI subcommands"
+        for path in check_docs.doc_files():
+            for subcommand, _ in check_docs.snippet_invocations(path):
+                assert subcommand in known, (
+                    f"{path.name} documents unknown subcommand "
+                    f"{subcommand!r}")

@@ -16,6 +16,7 @@ from repro.serving import (
     PoissonWorkload,
     RampWorkload,
     check_benchmark_schema,
+    gate_serving_benchmark,
     run_serving_benchmark,
     split_requests,
     write_benchmark_json,
@@ -177,7 +178,7 @@ def bench_result():
 class TestServingBenchmark:
     def test_schema(self, bench_result):
         check_benchmark_schema(bench_result)  # raises on drift
-        assert bench_result["schema_version"] == 1
+        assert bench_result["schema_version"] == 2
         assert "synthetic" in bench_result["deployments"]
 
     def test_cached_path_is_bitwise_equal(self, bench_result):
@@ -214,3 +215,41 @@ class TestServingBenchmark:
             check_benchmark_schema(broken)
         with pytest.raises(ServingError):
             check_benchmark_schema({"kind": "serving-benchmark"})
+
+    def test_precision_axis(self, bench_result):
+        precision = bench_result["precision"]
+        assert precision["path"] == "frozen"
+        assert precision["fused_bitwise_equal"] is True
+        assert set(precision["modes"]) == {"float64", "float32", "int8"}
+        # reduced modes really shrink the saved artifact
+        assert precision["modes"]["float32"]["artifact_bytes_ratio"] < 1.0
+        assert precision["modes"]["int8"]["artifact_bytes_ratio"] <= 0.5
+        for mode in ("float64", "float32", "int8"):
+            assert 0.0 <= precision["modes"][mode]["accuracy"] <= 1.0
+
+    def test_schema_checker_rejects_missing_precision(self, bench_result):
+        broken = json.loads(json.dumps(bench_result))
+        del broken["precision"]["modes"]["int8"]
+        with pytest.raises(ServingError):
+            check_benchmark_schema(broken)
+
+    def test_gate_flags_slow_float32(self, bench_result):
+        broken = json.loads(json.dumps(bench_result))
+        broken["precision"]["modes"]["float32"]["speedup_vs_float64"] = 0.9
+        failures = gate_serving_benchmark(broken)
+        assert any("float32" in failure for failure in failures)
+
+    def test_gate_flags_broken_fused_parity(self, bench_result):
+        broken = json.loads(json.dumps(bench_result))
+        broken["precision"]["fused_bitwise_equal"] = False
+        failures = gate_serving_benchmark(broken)
+        assert any("fused" in failure for failure in failures)
+
+    def test_gate_passes_on_structural_invariants(self, bench_result):
+        # tiny-sim timing is too noisy for the speedup floor, so relax
+        # the perf thresholds and keep the structural checks strict:
+        # bitwise parities and the int8 artifact ceiling must hold
+        failures = gate_serving_benchmark(
+            bench_result, min_float32_speedup=0.0,
+            max_accuracy_drop=100.0, max_int8_bytes_ratio=0.5)
+        assert failures == []

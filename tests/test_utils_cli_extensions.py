@@ -260,6 +260,38 @@ class TestServingCli:
                     "poisson", "bursty", "ramp"):
             assert key in out
 
+    def test_list_falls_back_for_undescribed_entries(self, capsys):
+        # policies registered without a docstring must fall back to the
+        # factory name in `repro list`, never print None/blank
+        from repro.registry import SHED_POLICIES, FactoryEntry
+
+        def quiet_policy():  # no docstring on purpose
+            raise NotImplementedError
+
+        SHED_POLICIES.register("quiet-test", FactoryEntry(
+            name="quiet-test", factory=quiet_policy))
+        try:
+            assert main(["list"]) == 0
+            out = capsys.readouterr().out
+            line = next(ln for ln in out.splitlines() if "quiet-test" in ln)
+            assert "None" not in line
+            assert "quiet_policy" in line
+        finally:
+            SHED_POLICIES.unregister("quiet-test")
+
+    def test_entry_help_fallbacks(self):
+        from repro.cli import _entry_help
+        from repro.registry import FactoryEntry
+
+        def some_factory():
+            raise NotImplementedError
+
+        described = FactoryEntry(name="a", factory=some_factory,
+                                 description="does a thing")
+        assert _entry_help(described) == "does a thing"
+        bare = FactoryEntry(name="b", factory=some_factory)
+        assert _entry_help(bare) == "some_factory"
+
     def test_serve_online_missing_artifact(self, capsys, tmp_path):
         code = main(["serve-online",
                      "--artifact", str(tmp_path / "missing.npz")])
