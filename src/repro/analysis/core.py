@@ -1,0 +1,370 @@
+"""Framework for the project-native static-analysis pass (``repro check``).
+
+Generic linters cannot see the conventions the serving stack's
+correctness rests on — which attributes a ``_lock`` guards, that every
+intentional ``raise`` derives from :class:`~repro.errors.ReproError`,
+that parity-critical modules must not narrow dtypes, that metric names
+follow ``repro_<component>_<what>[_total|_seconds]``.  This package
+machine-checks them: each *checker* is a small AST pass registered in
+:data:`CHECKERS` (the same decorator-registry pattern the reducers and
+routers use) that receives one shared :class:`AnalysisContext` and
+returns :class:`Violation`\\ s.
+
+Suppressions are explicit and carry a reason:
+
+- an inline ``# repro-check: <checker> <reason>`` comment on the
+  offending line waives that line for that checker;
+- a *baseline file* (``repro check --baseline``) waives known legacy
+  findings by stable key, so the gate can be adopted before the last
+  violation is fixed and ratchets from there.
+
+The CLI surface is ``repro check`` (text or JSON report, per-checker
+enable/disable); CI runs it as a hard gate.  See ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.registry import Registry
+
+__all__ = [
+    "AnalysisError",
+    "Violation",
+    "SourceFile",
+    "AnalysisContext",
+    "CheckerEntry",
+    "CHECKERS",
+    "register_checker",
+    "run_checkers",
+    "load_baseline",
+    "format_baseline",
+    "build_report",
+    "render_text_report",
+    "check_analysis_report_schema",
+    "ANALYSIS_REPORT_SCHEMA_VERSION",
+]
+
+ANALYSIS_REPORT_SCHEMA_VERSION = 1
+
+#: Inline-suppression marker: ``# repro-check: <checker> <reason>``.
+SUPPRESS_MARKER = "repro-check:"
+
+
+class AnalysisError(ReproError, ValueError):
+    """The static-analysis pass was misconfigured or an input is invalid."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding of one checker, anchored to a source line."""
+
+    checker: str
+    code: str  # stable short id, e.g. "LOCK001"
+    path: str  # repo-relative posix path
+    line: int
+    message: str
+
+    def key(self) -> str:
+        """Baseline identity: stable across unrelated line-number drift."""
+        return f"{self.checker}::{self.path}::{self.code}::{self.message}"
+
+    def as_dict(self) -> dict:
+        return {"checker": self.checker, "code": self.code,
+                "path": self.path, "line": self.line,
+                "message": self.message}
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}: {self.code} "
+                f"[{self.checker}] {self.message}")
+
+
+class SourceFile:
+    """One parsed Python source: AST plus the comments AST throws away."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.path = path
+        self.relpath = path.relative_to(root).as_posix()
+        self.text = path.read_text()
+        try:
+            self.tree = ast.parse(self.text, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"cannot parse {self.relpath}: {exc}") from exc
+        self.comments: dict[int, str] = {}
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(self.text).readline)
+            for token in tokens:
+                if token.type == tokenize.COMMENT:
+                    self.comments[token.start[0]] = token.string
+        except tokenize.TokenError:
+            pass  # comments stay best-effort; the AST parsed fine
+
+    def comment_on(self, line: int) -> str:
+        return self.comments.get(line, "")
+
+    def suppressed(self, line: int, checker: str) -> bool:
+        """True when ``# repro-check: <checker> <reason>`` covers ``line``.
+
+        The marker may sit on the flagged line itself or on the line
+        directly above it (for statements too long to share a line).
+        The reason is mandatory: a bare marker does not suppress, the
+        same way a broad except needs a justification, not just a tag.
+        """
+        for candidate in (line, line - 1):
+            comment = self.comments.get(candidate, "")
+            marker = comment.find(SUPPRESS_MARKER)
+            if marker < 0:
+                continue
+            rest = comment[marker + len(SUPPRESS_MARKER):].strip()
+            words = rest.split(None, 1)
+            if (words and words[0] == checker and len(words) > 1
+                    and words[1].strip()):
+                return True
+        return False
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a checker may need, computed once per run."""
+
+    root: Path
+    files: list[SourceFile] = field(default_factory=list)
+    #: Names of every class deriving (transitively) from ``ReproError``.
+    repro_error_names: set[str] = field(default_factory=set)
+
+    @classmethod
+    def collect(cls, root: str | Path,
+                package: str = "src/repro") -> "AnalysisContext":
+        root = Path(root).resolve()
+        package_dir = root / package
+        if not package_dir.is_dir():
+            raise AnalysisError(
+                f"no package directory {package!r} under {root}")
+        files = [SourceFile(root, path)
+                 for path in sorted(package_dir.rglob("*.py"))
+                 if "__pycache__" not in path.parts]
+        context = cls(root=root, files=files)
+        context.repro_error_names = _collect_error_hierarchy(files)
+        return context
+
+    def file(self, relpath: str) -> SourceFile | None:
+        for source in self.files:
+            if source.relpath == relpath:
+                return source
+        return None
+
+
+def _collect_error_hierarchy(files: list[SourceFile]) -> set[str]:
+    """Transitive subclasses of ``ReproError`` across the whole package.
+
+    Bases are resolved by (last) name, which is exact for this codebase:
+    error classes are always referenced by their imported name.
+    """
+    bases_by_class: dict[str, set[str]] = {}
+    for source in files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef):
+                names = set()
+                for base in node.bases:
+                    if isinstance(base, ast.Name):
+                        names.add(base.id)
+                    elif isinstance(base, ast.Attribute):
+                        names.add(base.attr)
+                bases_by_class.setdefault(node.name, set()).update(names)
+    known = {"ReproError"}
+    changed = True
+    while changed:
+        changed = False
+        for name, bases in bases_by_class.items():
+            if name not in known and bases & known:
+                known.add(name)
+                changed = True
+    return known
+
+
+# ----------------------------------------------------------------------
+# Checker registry
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CheckerEntry:
+    """A registered checker: ``run(context) -> list[Violation]``."""
+
+    name: str
+    factory: object  # the checker callable; named ``factory`` so the
+    # generic ``repro list`` entry help can introspect it uniformly
+    description: str = ""
+
+    def run(self, context: AnalysisContext) -> list:
+        return list(self.factory(context))
+
+
+CHECKERS: Registry[CheckerEntry] = Registry("static-analysis checker")
+
+
+def register_checker(name: str, *, description: str = "",
+                     overwrite: bool = False):
+    """Decorator registering ``fn(context) -> list[Violation]``."""
+
+    def wrap(fn):
+        CHECKERS.register(
+            name, CheckerEntry(name=name.lower(), factory=fn,
+                               description=description),
+            overwrite=overwrite)
+        return fn
+
+    return wrap
+
+
+def _load_all_checkers() -> None:
+    """Import every checker module so CHECKERS is fully populated."""
+    from repro.analysis import (  # noqa: F401 — imported for registration
+        docs,
+        errors_check,
+        locks,
+        naming,
+        parity,
+        registries,
+    )
+
+
+def selected_checkers(only: list[str] | None = None,
+                      disable: list[str] | None = None) -> list[CheckerEntry]:
+    """Resolve the checker set a run covers (validates the names)."""
+    _load_all_checkers()
+    names = list(CHECKERS.keys())
+    if only:
+        for name in only:
+            CHECKERS.get(name)  # raises with the available keys
+        names = [name for name in names if name in {n.lower() for n in only}]
+    if disable:
+        for name in disable:
+            CHECKERS.get(name)
+        names = [name for name in names
+                 if name not in {n.lower() for n in disable}]
+    return [CHECKERS.get(name) for name in names]
+
+
+def run_checkers(root: str | Path, *, only: list[str] | None = None,
+                 disable: list[str] | None = None,
+                 ) -> tuple[list[Violation], dict, AnalysisContext]:
+    """Run the selected checkers; returns ``(violations, per_checker, ctx)``.
+
+    ``per_checker`` maps checker name → finding count (before any
+    baseline suppression), in registry order.
+    """
+    entries = selected_checkers(only, disable)
+    context = AnalysisContext.collect(root)
+    violations: list[Violation] = []
+    per_checker: dict[str, int] = {}
+    for entry in entries:
+        found = entry.run(context)
+        per_checker[entry.name] = len(found)
+        violations.extend(found)
+    violations.sort(key=lambda v: (v.path, v.line, v.checker, v.code))
+    return violations, per_checker, context
+
+
+# ----------------------------------------------------------------------
+# Baseline files
+# ----------------------------------------------------------------------
+def load_baseline(path: str | Path) -> set[str]:
+    """Read a baseline file into its set of suppression keys."""
+    target = Path(path)
+    try:
+        payload = json.loads(target.read_text())
+    except FileNotFoundError:
+        raise AnalysisError(f"baseline file {target} does not exist")
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"baseline file {target} is not JSON: {exc}")
+    if (not isinstance(payload, dict)
+            or not isinstance(payload.get("entries"), list)):
+        raise AnalysisError(
+            f"baseline file {target} must be "
+            '{"version": 1, "entries": [...]}')
+    return {str(entry) for entry in payload["entries"]}
+
+
+def format_baseline(violations: list[Violation]) -> str:
+    """Serialize findings as a baseline file (``--write-baseline``)."""
+    entries = sorted({violation.key() for violation in violations})
+    return json.dumps({"version": 1, "entries": entries}, indent=2) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+def build_report(violations: list[Violation], per_checker: dict,
+                 context: AnalysisContext,
+                 baseline: set[str] | None = None) -> dict:
+    """The JSON report ``repro check --format json`` emits (CI artifact)."""
+    baseline = baseline or set()
+    active = [v for v in violations if v.key() not in baseline]
+    suppressed = len(violations) - len(active)
+    _load_all_checkers()
+    return {
+        "kind": "analysis-report",
+        "schema_version": ANALYSIS_REPORT_SCHEMA_VERSION,
+        "files_scanned": len(context.files),
+        "checkers": {name: {
+            "description": CHECKERS.get(name).description,
+            "violations": count,
+        } for name, count in per_checker.items()},
+        "violations": [v.as_dict() for v in active],
+        "suppressed": suppressed,
+        "clean": not active,
+    }
+
+
+def render_text_report(report: dict) -> str:
+    """Human-readable report body (one line per finding + a summary)."""
+    lines = [Violation(**entry).render()
+             for entry in report["violations"]]
+    counts = ", ".join(f"{name}={info['violations']}"
+                       for name, info in report["checkers"].items())
+    status = "clean" if report["clean"] else (
+        f"{len(report['violations'])} violation(s)")
+    lines.append(f"repro check: {status} ({counts}; "
+                 f"{report['suppressed']} baseline-suppressed, "
+                 f"{report['files_scanned']} files)")
+    return "\n".join(lines)
+
+
+def check_analysis_report_schema(result: dict) -> None:
+    """Validate a ``repro check`` JSON report (``repro bench-schema``)."""
+    from repro.utils.reports import require_keys
+
+    if not isinstance(result, dict):
+        raise AnalysisError("analysis report must be a JSON object")
+    require_keys(result, ("kind", "schema_version", "files_scanned",
+                          "checkers", "violations", "suppressed", "clean"),
+                 "analysis report", AnalysisError)
+    if result["kind"] != "analysis-report":
+        raise AnalysisError(
+            f"analysis report kind must be 'analysis-report', "
+            f"got {result['kind']!r}")
+    if result["schema_version"] != ANALYSIS_REPORT_SCHEMA_VERSION:
+        raise AnalysisError(
+            f"analysis report schema_version must be "
+            f"{ANALYSIS_REPORT_SCHEMA_VERSION}, "
+            f"got {result['schema_version']!r}")
+    if not isinstance(result["checkers"], dict) or not result["checkers"]:
+        raise AnalysisError("analysis report 'checkers' must be a "
+                            "non-empty object")
+    for name, info in result["checkers"].items():
+        require_keys(info, ("description", "violations"),
+                     f"analysis report checker {name!r}", AnalysisError)
+    if not isinstance(result["violations"], list):
+        raise AnalysisError("analysis report 'violations' must be a list")
+    for entry in result["violations"]:
+        require_keys(entry, ("checker", "code", "path", "line", "message"),
+                     "analysis report violation", AnalysisError)
+    if result["clean"] != (not result["violations"]):
+        raise AnalysisError(
+            "analysis report 'clean' disagrees with its violation list")

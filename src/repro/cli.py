@@ -542,6 +542,32 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--batch-mode", choices=("graph", "node"),
                           default="graph")
 
+    check = sub.add_parser(
+        "check",
+        help="run the project-native static-analysis pass over src/repro "
+             "(lock/error/parity/registry/naming/docs checkers); exits 1 "
+             "on violations")
+    check.add_argument("--root", default=".",
+                       help="repository root to analyze (default: .)")
+    check.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format on stdout (default: text)")
+    check.add_argument("--output", default=None, metavar="FILE",
+                       help="also write the JSON report to FILE "
+                            "(the CI artifact)")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="suppression file of known legacy findings "
+                            "(JSON written by --write-baseline)")
+    check.add_argument("--write-baseline", default=None, metavar="FILE",
+                       help="write the current findings as a baseline "
+                            "file and exit 0")
+    check.add_argument("--only", action="append", default=None,
+                       metavar="CHECKER",
+                       help="run only this checker (repeatable)")
+    check.add_argument("--disable", action="append", default=None,
+                       metavar="CHECKER",
+                       help="skip this checker (repeatable)")
+    check.set_defaults(handler=_cmd_check)
+
     listing = sub.add_parser(
         "list", help="enumerate registered methods, models, datasets, and "
                      "experiments")
@@ -1030,9 +1056,40 @@ def _cmd_bench_fleet(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.analysis import (
+        build_report,
+        format_baseline,
+        load_baseline,
+        render_text_report,
+        run_checkers,
+    )
+
+    violations, per_checker, context = run_checkers(
+        args.root, only=args.only, disable=args.disable)
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(format_baseline(violations))
+        print(f"wrote {len(violations)} baseline entr"
+              f"{'y' if len(violations) == 1 else 'ies'} to "
+              f"{args.write_baseline}")
+        return 0
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    report = build_report(violations, per_checker, context, baseline)
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered if args.format == "json"
+          else render_text_report(report))
+    if args.output:
+        Path(args.output).write_text(rendered + "\n")
+    return 0 if report["clean"] else 1
+
+
 def _cmd_bench_schema(args) -> int:
     import json
 
+    from repro.analysis import check_analysis_report_schema
     from repro.condense.bench import check_condense_benchmark_schema
     from repro.errors import ArtifactError, ServingError
     from repro.serving import (
@@ -1048,6 +1105,7 @@ def _cmd_bench_schema(args) -> int:
         "streaming-benchmark": check_streaming_benchmark_schema,
         "fleet-benchmark": check_fleet_benchmark_schema,
         "gateway-benchmark": check_gateway_benchmark_schema,
+        "analysis-report": check_analysis_report_schema,
     }
     for name in args.files:
         try:
@@ -1277,6 +1335,11 @@ def _cmd_list(args) -> int:
     print("\ngateway scale policies (repro serve-gateway --scale-policy):")
     for name, entry in SCALE_POLICIES.items():
         print(f"  {name:<16} {_entry_help(entry)}")
+    print("\nstatic-analysis checkers (repro check --only):")
+    from repro.analysis.core import CHECKERS, selected_checkers
+    selected_checkers()  # import every checker module into CHECKERS
+    for name, entry in CHECKERS.items():
+        print(f"  {name:<10} {_entry_help(entry)}")
     print("\ntable-II method columns (repro eval --method):")
     for name, spec in METHODS.items():
         print(f"  {name:<10} {spec.setting}")

@@ -656,6 +656,7 @@ class ServingFleet:
         entry.future._fail(error)
 
     def _redispatch_orphans(self) -> None:
+        """Drain the orphan queue onto ready replicas (caller holds the lock)."""
         while self._orphans and self.pool.ready_ids():
             self._dispatch(self._orphans.popleft())
 

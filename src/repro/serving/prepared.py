@@ -191,7 +191,8 @@ def _fused_scale(block: sp.csr_matrix, inv_row: np.ndarray,
     return (inv_row[rows] * data) * inv_col[block.indices]
 
 
-def _quantize_columns(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _quantize_columns(  # repro-check: precision-layer the int8 quantizer
+        matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Per-column absmax int8 quantization: ``(q, scale)``.
 
     ``scale[j] = absmax(column j) / 127`` (1.0 for all-zero columns, so
@@ -210,7 +211,8 @@ def _quantize_columns(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return q, scale
 
 
-def _dequantize(q: np.ndarray, scale: np.ndarray) -> np.ndarray:
+def _dequantize(  # repro-check: precision-layer int8 -> float32 inverse
+        q: np.ndarray, scale: np.ndarray) -> np.ndarray:
     """Inverse of :func:`_quantize_columns`, in float32."""
     return q.astype(np.float32) * scale
 

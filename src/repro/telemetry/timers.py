@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import time
 
+from repro.telemetry.metrics import TelemetryError
 from repro.telemetry.tracing import record_stage
 
 __all__ = ["Stopwatch", "format_seconds"]
@@ -53,7 +54,7 @@ class Stopwatch:
 def format_seconds(seconds: float) -> str:
     """Human-friendly rendering: ``1.2ms``, ``3.4s``, ``2m05s``."""
     if seconds < 0:
-        raise ValueError(f"seconds must be non-negative, got {seconds}")
+        raise TelemetryError(f"seconds must be non-negative, got {seconds}")
     if seconds < 1e-3:
         return f"{seconds * 1e6:.0f}us"
     if seconds < 1.0:

@@ -42,6 +42,8 @@ from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass
 
+from repro.telemetry.metrics import TelemetryError
+
 __all__ = [
     "GATEWAY_STAGES",
     "RUNTIME_STAGES",
@@ -208,9 +210,9 @@ class TraceLog:
                  slow_ms: float | None = None,
                  log: logging.Logger | None = None) -> None:
         if capacity <= 0:
-            raise ValueError(f"capacity must be positive, got {capacity}")
+            raise TelemetryError(f"capacity must be positive, got {capacity}")
         if slow_ms is not None and slow_ms <= 0:
-            raise ValueError(f"slow_ms must be positive, got {slow_ms}")
+            raise TelemetryError(f"slow_ms must be positive, got {slow_ms}")
         self.capacity = capacity
         self.slow_ms = slow_ms
         self._log = log or logger

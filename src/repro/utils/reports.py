@@ -26,4 +26,5 @@ def require_keys(mapping: dict, keys, where: str, error: type) -> None:
     """Raise ``error`` naming every key of ``keys`` missing from ``mapping``."""
     missing = [key for key in keys if key not in mapping]
     if missing:
+        # repro-check: errors dynamic type — callers pass a ReproError class
         raise error(f"{where} misses keys: {missing}")

@@ -1,154 +1,70 @@
 #!/usr/bin/env python3
 """Documentation checks: intra-repo links and CLI-snippet drift.
 
-Stdlib only, run from the repo root (CI's ``docs`` job)::
+Since PR 9 the actual analysis lives in :mod:`repro.analysis.docs`,
+where it runs as the ``docs`` checker of ``repro check``.  This script
+is the standalone entry point CI's ``docs`` job (and muscle memory)
+still calls::
 
     python tools/check_docs.py
 
-Two checks over ``README.md`` and every ``docs/*.md``:
-
-1. **Links.** Every relative markdown link must resolve to a real file,
-   and a ``#fragment`` pointing into a markdown file must match one of
-   its headings (GitHub-style slugs).
-2. **CLI snippets.** Every ``repro <subcommand> ...`` invocation inside
-   a fenced code block is replayed as ``python -m repro <subcommand>
-   --help``; the subcommand must exist and every ``--flag`` the snippet
-   names must appear in that help text.  Docs that drift from the CLI
-   fail the build instead of rotting.
+It keeps the original module surface — ``ROOT``, ``doc_files()``,
+``check_links(path, slug_cache)`` returning strings — as a thin layer
+over the package implementation.
 """
 
 from __future__ import annotations
 
-import os
-import re
-import subprocess
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 
-LINK_RE = re.compile(r"\[([^\]]*)\]\(([^)\s]+)\)")
-HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*$", re.MULTILINE)
-FENCE_RE = re.compile(r"^```.*$")
-EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+if str(ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(ROOT / "src"))
+
+from repro.analysis import docs as _docs  # noqa: E402 — needs sys.path
+
+LINK_RE = _docs.LINK_RE
+HEADING_RE = _docs.HEADING_RE
+FENCE_RE = _docs.FENCE_RE
+EXTERNAL_PREFIXES = _docs.EXTERNAL_PREFIXES
+
+github_slug = _docs.github_slug
+heading_slugs = _docs.heading_slugs
 
 
 def doc_files() -> list[Path]:
-    files = [ROOT / "README.md"]
-    files += sorted((ROOT / "docs").glob("*.md"))
-    return [path for path in files if path.is_file()]
-
-
-def github_slug(heading: str, seen: dict[str, int]) -> str:
-    """GitHub's anchor slug: drop code ticks/punctuation, hyphenate."""
-    text = heading.replace("`", "").strip().lower()
-    text = re.sub(r"[^\w\- ]", "", text)
-    slug = re.sub(r" ", "-", text)
-    count = seen.get(slug, 0)
-    seen[slug] = count + 1
-    return slug if count == 0 else f"{slug}-{count}"
-
-
-def heading_slugs(path: Path) -> set[str]:
-    seen: dict[str, int] = {}
-    return {github_slug(match.group(2), seen)
-            for match in HEADING_RE.finditer(path.read_text())}
+    return _docs.doc_files(ROOT)
 
 
 def check_links(path: Path, slug_cache: dict[Path, set[str]]) -> list[str]:
-    problems = []
-    for match in LINK_RE.finditer(path.read_text()):
-        target = match.group(2)
-        if target.startswith(EXTERNAL_PREFIXES):
-            continue
-        target, _, fragment = target.partition("#")
-        resolved = path if not target else (path.parent / target).resolve()
-        rel = path.relative_to(ROOT)
-        if not resolved.exists():
-            problems.append(f"{rel}: broken link -> {match.group(2)}")
-            continue
-        if fragment and resolved.suffix == ".md":
-            if resolved not in slug_cache:
-                slug_cache[resolved] = heading_slugs(resolved)
-            if fragment not in slug_cache[resolved]:
-                problems.append(
-                    f"{rel}: missing anchor -> {match.group(2)}")
-    return problems
+    return [problem.render(ROOT)
+            for problem in _docs.check_links(path, slug_cache)]
 
 
 def snippet_invocations(path: Path) -> list[tuple[str, list[str]]]:
     """(subcommand, [--flags]) for each ``repro ...`` line in a fence."""
-    invocations = []
-    in_fence = False
-    pending = ""
-    for line in path.read_text().splitlines():
-        if FENCE_RE.match(line.strip()):
-            in_fence = not in_fence
-            pending = ""
-            continue
-        if not in_fence:
-            continue
-        line = pending + line.strip()
-        pending = ""
-        if line.endswith("\\"):
-            pending = line[:-1] + " "
-            continue
-        words = line.split()
-        if not words or words[0] != "repro" or len(words) < 2:
-            continue
-        subcommand = words[1]
-        if subcommand.startswith("-"):
-            continue
-        flags = [word.split("=")[0] for word in words[2:]
-                 if re.fullmatch(r"--[A-Za-z0-9][\w\-]*(=\S*)?", word)]
-        invocations.append((subcommand, flags))
-    return invocations
+    return [(subcommand, flags) for _line, subcommand, flags
+            in _docs.snippet_invocations(path)]
 
 
-def check_snippets(path: Path, help_cache: dict[str, str | None],
-                   ) -> list[str]:
-    problems = []
-    rel = path.relative_to(ROOT)
-    for subcommand, flags in snippet_invocations(path):
-        if subcommand not in help_cache:
-            result = subprocess.run(
-                [sys.executable, "-m", "repro", subcommand, "--help"],
-                capture_output=True, text=True, cwd=ROOT,
-                env={**os.environ, "PYTHONPATH": str(ROOT / "src")},
-            )
-            help_cache[subcommand] = (result.stdout if result.returncode == 0
-                                      else None)
-        help_text = help_cache[subcommand]
-        if help_text is None:
-            problems.append(
-                f"{rel}: snippet uses unknown subcommand 'repro "
-                f"{subcommand}' (--help exited non-zero)")
-            continue
-        for flag in flags:
-            if flag not in help_text:
-                problems.append(
-                    f"{rel}: 'repro {subcommand}' snippet names {flag}, "
-                    f"not in its --help")
-    return problems
+def check_snippets(path: Path,
+                   help_cache: dict[str, str] | None = None) -> list[str]:
+    if not help_cache:
+        help_cache = _docs.cli_help_texts()
+    return [problem.render(ROOT)
+            for problem in _docs.check_snippets(path, help_cache)]
 
 
 def main() -> int:
-    files = doc_files()
-    slug_cache: dict[Path, set[str]] = {}
-    help_cache: dict[str, str | None] = {}
-    problems: list[str] = []
-    links = snippets = 0
-    for path in files:
-        problems += check_links(path, slug_cache)
-        links += len(LINK_RE.findall(path.read_text()))
-        invocations = snippet_invocations(path)
-        snippets += len(invocations)
-        problems += check_snippets(path, help_cache)
+    problems, stats = _docs.run_docs_check(ROOT)
     for problem in problems:
-        print(f"FAIL: {problem}")
+        print(f"FAIL: {problem.render(ROOT)}")
     status = "FAILED" if problems else "ok"
-    print(f"docs check {status}: {len(files)} files, {links} links, "
-          f"{snippets} CLI snippet lines, {len(problems)} problems")
+    print(f"docs check {status}: {stats['files']} files, "
+          f"{stats['links']} links, {stats['snippets']} CLI snippet "
+          f"lines, {len(problems)} problems")
     return 1 if problems else 0
 
 
