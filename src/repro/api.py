@@ -63,7 +63,7 @@ from repro.utils.artifacts import normalize_npz_path, open_npz_archive, save_npz
 
 __all__ = ["condense", "deploy", "serve", "open_runtime", "open_stream",
            "open_fleet", "open_gateway", "evaluation_batch",
-           "DeploymentBundle"]
+           "save_embedding_index", "DeploymentBundle"]
 
 
 # ----------------------------------------------------------------------
@@ -513,10 +513,17 @@ def open_runtime(bundle: DeploymentBundle | str | Path, *,
     scheduler (a :data:`repro.registry.SCHEDULERS` key) over a prepared
     deployment cache; see :mod:`repro.serving` for the moving parts.
 
+    Requests are task-typed: wrap the batch in a
+    :class:`~repro.serving.embeddings.ServeTask` and pick ``predict``
+    (default), ``embed``, ``link_score``, or ``topk``.
+
+    >>> from repro.serving import ServeTask             # doctest: +SKIP
     >>> runtime = api.open_runtime("artifact.npz")      # doctest: +SKIP
     >>> with runtime:                                   # doctest: +SKIP
-    ...     future = runtime.submit(x, connections)
+    ...     future = runtime.submit(ServeTask(batch=batch))
     ...     logits = future.result()
+    ...     vectors = runtime.submit(
+    ...         ServeTask(batch=batch, task="embed")).result()
     """
     if not isinstance(bundle, DeploymentBundle):
         bundle = DeploymentBundle.load(bundle)
@@ -549,7 +556,7 @@ def open_stream(bundle: DeploymentBundle | str | Path, *,
     >>> runtime = api.open_stream("artifact.npz")       # doctest: +SKIP
     >>> with runtime:                                   # doctest: +SKIP
     ...     runtime.ingest(delta)                       # evolve the base
-    ...     future = runtime.submit(x, connections)     # serve against it
+    ...     future = runtime.submit(ServeTask(batch=batch))  # serve it
     """
     from repro.errors import ServingError
     runtime = open_runtime(
@@ -588,9 +595,13 @@ def open_fleet(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
     (``"float64"``/``"float32"``/``"int8"``); ``None`` (default) keeps
     the mode recorded in the artifact.
 
+    Replicas probe for the artifact's embedding-index sidecar (see
+    :func:`save_embedding_index`) and memory-map it when present, so
+    ``topk`` requests share one precomputed matrix per host.
+
     >>> fleet = api.open_fleet("artifact.npz", replicas=4)  # doctest: +SKIP
     >>> with fleet:                                         # doctest: +SKIP
-    ...     future = fleet.submit(x, connections, key="user-17")
+    ...     future = fleet.submit(ServeTask(batch=batch, key="user-17"))
     ...     logits = future.result()
     ...     fleet.swap("artifact-v2.npz")   # rolling, zero dropped traffic
     """
@@ -680,6 +691,39 @@ def open_gateway(bundle: DeploymentBundle | str | Path, replicas: int = 2, *,
         fleet.close(drain=False)
         raise
     return gateway
+
+
+def save_embedding_index(bundle: DeploymentBundle | str | Path,
+                         artifact: str | Path | None = None) -> Path:
+    """Precompute an artifact's embedding-index sidecar; returns its path.
+
+    Builds the base-node :class:`~repro.serving.embeddings.EmbeddingIndex`
+    from the bundle's prepared deployment and saves it uncompressed
+    (memory-mappable) next to the artifact ``.npz``
+    (``artifact.npz`` → ``artifact.embeddings.npz``).  Fleet replicas
+    probe that path on startup and attach the shared mapping, so
+    ``topk`` and ``link_score`` requests read one page-cache copy of
+    the matrix per host instead of each process paying a base
+    ``embed()`` forward.  :meth:`PreparedDeployment.apply_delta`
+    invalidates an attached index, so a streamed deployment falls back
+    to lazy recomputation the moment the graph changes.
+
+    ``bundle`` may be a :class:`DeploymentBundle` or a path to one; when
+    it is a path and ``artifact`` is omitted, the sidecar lands next to
+    that same file.
+    """
+    from repro.serving.embeddings import EmbeddingIndex, sidecar_index_path
+    if not isinstance(bundle, DeploymentBundle):
+        if artifact is None:
+            artifact = bundle
+        bundle = DeploymentBundle.load(bundle)
+    if artifact is None:
+        raise ConfigError(
+            "an in-memory bundle needs an explicit artifact path for its "
+            "embedding-index sidecar to sit next to")
+    prepared = bundle.prepare()
+    index = EmbeddingIndex(prepared.base_embeddings())
+    return index.save(sidecar_index_path(artifact))
 
 
 def evaluation_batch(bundle: DeploymentBundle) -> IncrementalBatch:

@@ -62,6 +62,51 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="compute profile (default: quick)")
 
 
+def _add_task_flag(parser: argparse.ArgumentParser,
+                   knobs: bool = False) -> None:
+    """The uniform ``--task`` flag shared by every serve/bench replay.
+
+    One definition keeps the help text identical across subcommands
+    (the DOC003 drift check resolves doc snippets against it).  With
+    ``knobs`` the task-specific tuning flags ride along.
+    """
+    parser.add_argument("--task",
+                        choices=("predict", "embed", "link_score", "topk"),
+                        default="predict",
+                        help="serving task every replayed request asks for: "
+                             "predict (class logits), embed (penultimate "
+                             "representations), link_score (endpoint-pair "
+                             "scores), or topk (nearest base nodes); "
+                             "default: predict")
+    if knobs:
+        parser.add_argument("--k", type=int, default=10,
+                            help="neighbours per row for --task topk "
+                                 "(default: 10)")
+        parser.add_argument("--scorer", default="dot",
+                            help="pair scorer registry key for --task "
+                                 "link_score (default: dot)")
+
+
+def _require_predict_task(args, command: str) -> None:
+    """Benchmarks that replay predict-only traffic still take the
+    uniform ``--task`` flag; anything else routes to bench-embed."""
+    if args.task != "predict":
+        raise ConfigError(
+            f"repro {command} replays predict traffic only; "
+            f"'repro bench-embed' covers the embed/link_score/topk tasks")
+
+
+def _tasked(args, requests):
+    """Wrap replay batches as ServeTask requests of ``args.task``."""
+    if args.task == "predict":
+        return requests
+    from repro.serving import tasked_requests
+
+    return tasked_requests(requests, args.task, k=args.k,
+                           scorer=args.scorer,
+                           seed=getattr(args, "seed", 0))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -163,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     online.add_argument("--closed-loop", action="store_true",
                         help="submit eagerly instead of honouring arrival "
                              "times (no sleeps; measures drain rate)")
+    _add_task_flag(online, knobs=True)
 
     stream = sub.add_parser(
         "serve-stream",
@@ -202,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
                         default="node")
     stream.add_argument("--seed", type=int, default=0,
                         help="delta-trace seed (default: 0)")
+    _add_task_flag(stream, knobs=True)
 
     bench_stream = sub.add_parser(
         "bench-stream",
@@ -238,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench_stream.add_argument("--min-speedup", type=float, default=1.0,
                               help="refresh speedup the --gate requires "
                                    "(default: 1.0)")
+    _add_task_flag(bench_stream)
 
     fleet = sub.add_parser(
         "serve-fleet",
@@ -269,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--kill-one", action="store_true",
                        help="failover drill: kill one replica mid-stream "
                             "and report re-routing stats")
+    _add_task_flag(fleet, knobs=True)
 
     gateway = sub.add_parser(
         "serve-gateway",
@@ -393,6 +442,59 @@ def build_parser() -> argparse.ArgumentParser:
                                help="instrumented/uninstrumented throughput "
                                     "ratio the --gate requires "
                                     "(default: 0.97)")
+    _add_task_flag(bench_gateway)
+
+    bench_embed = sub.add_parser(
+        "bench-embed",
+        help="run the task-serving benchmark (per-task throughput, "
+             "precomputed-index top-k speedup, link-prediction holdout "
+             "AUC, delta invalidation) and write BENCH_embed.json")
+    _add_common(bench_embed)
+    bench_embed.add_argument("--method", default="mcond",
+                             help="reduction method registry key "
+                                  "(default: mcond)")
+    bench_embed.add_argument("--budget", type=int, default=None,
+                             help="synthetic node budget (default: the "
+                                  "dataset's largest registered budget)")
+    bench_embed.add_argument("--scale", type=float, default=1.0,
+                             help="dataset scale multiplier (default: 1.0)")
+    bench_embed.add_argument("--requests", type=int, default=32,
+                             help="requests per task replay (default: 32)")
+    bench_embed.add_argument("--nodes-per-request", type=int, default=2,
+                             help="inductive nodes per request (default: 2)")
+    bench_embed.add_argument("--k", type=int, default=5,
+                             help="neighbours per top-k row (default: 5)")
+    bench_embed.add_argument("--holdout-pairs", type=int, default=64,
+                             help="held-out edges in the link-prediction "
+                                  "evaluation (default: 64)")
+    bench_embed.add_argument("--scorer", default="dot",
+                             help="pair scorer registry key for the link "
+                                  "holdout (default: dot)")
+    bench_embed.add_argument("--deltas", type=int, default=4,
+                             help="deltas in the invalidation trace "
+                                  "(default: 4)")
+    bench_embed.add_argument("--nodes-per-delta", type=int, default=2,
+                             help="nodes appended per delta (default: 2)")
+    bench_embed.add_argument("--batch-mode", choices=("graph", "node"),
+                             default="node")
+    bench_embed.add_argument("--output", default="BENCH_embed.json",
+                             help="output JSON path "
+                                  "(default: BENCH_embed.json)")
+    bench_embed.add_argument("--gate", action="store_true",
+                             help="fail (exit 1) unless the precomputed "
+                                  "index beats per-query embedding "
+                                  "recomputation by --min-index-speedup, "
+                                  "the link holdout AUC clears 0.5 + "
+                                  "--auc-margin, deltas leave zero stale "
+                                  "top-k rows, and post-delta embeddings "
+                                  "keep bitwise parity")
+    bench_embed.add_argument("--min-index-speedup", type=float, default=2.0,
+                             help="top-k index speedup over per-query "
+                                  "recomputation the --gate requires "
+                                  "(default: 2.0)")
+    bench_embed.add_argument("--auc-margin", type=float, default=0.05,
+                             help="margin over the 0.5 AUC chance line the "
+                                  "--gate requires (default: 0.05)")
 
     bench_fleet = sub.add_parser(
         "bench-fleet",
@@ -433,6 +535,7 @@ def build_parser() -> argparse.ArgumentParser:
                                   "on throughput (on multi-core hosts), "
                                   "mmap beats eager cold start, and "
                                   "failover loses zero requests")
+    _add_task_flag(bench_fleet)
 
     bench_schema = sub.add_parser(
         "bench-schema",
@@ -483,6 +586,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-int8-bytes-ratio", type=float, default=0.5,
                        help="int8/float64 artifact size ceiling under "
                             "--gate (default: 0.5)")
+    _add_task_flag(bench)
 
     bench_condense = sub.add_parser(
         "bench-condense",
@@ -581,6 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.set_defaults(handler=_cmd_serve_gateway)
     top.set_defaults(handler=_cmd_top)
     bench_gateway.set_defaults(handler=_cmd_bench_gateway)
+    bench_embed.set_defaults(handler=_cmd_bench_embed)
     bench.set_defaults(handler=_cmd_bench)
     bench_condense.set_defaults(handler=_cmd_bench_condense)
     bench_stream.set_defaults(handler=_cmd_bench_stream)
@@ -684,7 +789,8 @@ def _cmd_serve_online(args) -> int:
                                max_batch_size=args.max_batch_size,
                                max_wait_ms=args.max_wait_ms)
     batch = api.evaluation_batch(bundle)
-    requests = split_requests(batch, args.requests, args.nodes_per_request)
+    requests = _tasked(args, split_requests(batch, args.requests,
+                                            args.nodes_per_request))
     workload = make_workload(args.workload, rate=args.rate)
     arrivals = None
     if not args.closed_loop:
@@ -739,8 +845,8 @@ def _cmd_serve_stream(args) -> int:
                 i * args.nodes_per_delta:(i + 1) * args.nodes_per_delta])
             for i in range(args.deltas)]
     request_pool = batch.subset(np.arange(reserved, batch.num_nodes))
-    requests = split_requests(request_pool, args.requests,
-                              args.nodes_per_request)
+    requests = _tasked(args, split_requests(request_pool, args.requests,
+                                            args.nodes_per_request))
     replay_stream(runtime, requests, trace, args.ingest_every)
     stats = runtime.stats()
     stream = runtime.stream_stats()
@@ -764,7 +870,8 @@ def _cmd_serve_fleet(args) -> int:
     bundle = api.DeploymentBundle.load(args.artifact)
     print(bundle)
     batch = api.evaluation_batch(bundle)
-    requests = split_requests(batch, args.requests, args.nodes_per_request)
+    requests = _tasked(args, split_requests(batch, args.requests,
+                                            args.nodes_per_request))
     fleet = api.open_fleet(args.artifact, args.replicas, router=args.router,
                            batch_mode=args.batch_mode, mmap=args.mmap,
                            precision=args.precision)
@@ -947,6 +1054,7 @@ def _cmd_bench_gateway(args) -> int:
         write_benchmark_json,
     )
 
+    _require_predict_task(args, "bench-gateway")
     result = run_gateway_benchmark(
         args.dataset, method=args.method, budget=args.budget, seed=args.seed,
         scale=args.scale, profile=args.effort, deployment=args.deployment,
@@ -1015,6 +1123,7 @@ def _cmd_bench_fleet(args) -> int:
         write_benchmark_json,
     )
 
+    _require_predict_task(args, "bench-fleet")
     try:
         counts = tuple(int(item)
                        for item in str(args.replica_counts).split(","))
@@ -1094,6 +1203,7 @@ def _cmd_bench_schema(args) -> int:
     from repro.errors import ArtifactError, ServingError
     from repro.serving import (
         check_benchmark_schema,
+        check_embed_benchmark_schema,
         check_fleet_benchmark_schema,
         check_gateway_benchmark_schema,
         check_streaming_benchmark_schema,
@@ -1105,6 +1215,7 @@ def _cmd_bench_schema(args) -> int:
         "streaming-benchmark": check_streaming_benchmark_schema,
         "fleet-benchmark": check_fleet_benchmark_schema,
         "gateway-benchmark": check_gateway_benchmark_schema,
+        "embed-benchmark": check_embed_benchmark_schema,
         "analysis-report": check_analysis_report_schema,
     }
     for name in args.files:
@@ -1123,6 +1234,58 @@ def _cmd_bench_schema(args) -> int:
     return 0
 
 
+def _cmd_bench_embed(args) -> int:
+    from repro.serving import (
+        check_embed_benchmark_schema,
+        gate_embed_benchmark,
+        run_embed_benchmark,
+        write_benchmark_json,
+    )
+
+    result = run_embed_benchmark(
+        args.dataset, method=args.method, budget=args.budget, seed=args.seed,
+        scale=args.scale, profile=args.effort, num_requests=args.requests,
+        nodes_per_request=args.nodes_per_request, k=args.k,
+        holdout_pairs=args.holdout_pairs, scorer=args.scorer,
+        num_deltas=args.deltas, nodes_per_delta=args.nodes_per_delta,
+        batch_mode=args.batch_mode)
+    check_embed_benchmark_schema(result)
+    path = write_benchmark_json(result, args.output)
+    throughput = result["throughput"]
+    print(f"throughput     predict {throughput['predict_rps']:.0f} req/s, "
+          f"embed {throughput['embed_rps']:.0f} req/s "
+          f"({throughput['embed_vs_predict']:.2f}x), topk "
+          f"{throughput['topk_rps']:.0f} req/s "
+          f"({throughput['topk_vs_predict']:.2f}x)")
+    index = result["index"]
+    print(f"top-k index    {index['indexed_ms_total']:.2f} ms from the "
+          f"mmap index vs {index['recompute_ms_total']:.2f} ms recomputing "
+          f"per query ({index['speedup']:.2f}x)")
+    link = result["link_prediction"]
+    print(f"link holdout   AUC {link['auc']:.3f} "
+          f"({link['num_positive']} positive / {link['num_negative']} "
+          f"negative pairs, {link['scorer']} scorer)")
+    invalidation = result["invalidation"]
+    parity = "ok" if invalidation["embed_parity"] else "BROKEN"
+    print(f"invalidation   {invalidation['deltas']} deltas, "
+          f"{invalidation['stale_topk_rows']} stale top-k rows, "
+          f"embed parity {parity}")
+    print(f"wrote {path}")
+    if args.gate:
+        failures = gate_embed_benchmark(
+            result, min_index_speedup=args.min_index_speedup,
+            auc_margin=args.auc_margin)
+        if failures:
+            for failure in failures:
+                print(f"perf gate: {failure}", file=sys.stderr)
+            return 1
+        print(f"perf gate passed: precomputed top-k index "
+              f"{index['speedup']:.2f}x over per-query recomputation, "
+              f"holdout AUC {link['auc']:.3f}, zero stale rows after "
+              f"{invalidation['deltas']} deltas")
+    return 0
+
+
 def _cmd_bench_stream(args) -> int:
     from repro.serving import (
         check_streaming_benchmark_schema,
@@ -1131,6 +1294,7 @@ def _cmd_bench_stream(args) -> int:
         write_benchmark_json,
     )
 
+    _require_predict_task(args, "bench-stream")
     result = run_streaming_benchmark(
         args.dataset, method=args.method, budget=args.budget, seed=args.seed,
         scale=args.scale, profile=args.effort, num_deltas=args.deltas,
@@ -1170,6 +1334,7 @@ def _cmd_bench(args) -> int:
         write_benchmark_json,
     )
 
+    _require_predict_task(args, "bench")
     result = run_serving_benchmark(
         args.dataset, method=args.method, budget=args.budget, seed=args.seed,
         scale=args.scale, profile=args.effort, num_requests=args.requests,
@@ -1308,7 +1473,7 @@ def _cmd_list(args) -> int:
     import repro.serving  # noqa: F401 — populates scheduler/workload registries
     from repro.graph.partition import PARTITIONERS
     from repro.registry import (SCALE_POLICIES, SHED_POLICIES, ROUTERS,
-                                SCHEDULERS, WORKLOADS)
+                                SCHEDULERS, TASKS, WORKLOADS)
 
     print("reduction methods (repro condense --method):")
     for name, entry in REDUCERS.items():
@@ -1335,6 +1500,9 @@ def _cmd_list(args) -> int:
     print("\ngateway scale policies (repro serve-gateway --scale-policy):")
     for name, entry in SCALE_POLICIES.items():
         print(f"  {name:<16} {_entry_help(entry)}")
+    print("\nserving tasks (repro serve-online --task):")
+    for name, entry in TASKS.items():
+        print(f"  {name:<12} {_entry_help(entry)}")
     print("\nstatic-analysis checkers (repro check --only):")
     from repro.analysis.core import CHECKERS, selected_checkers
     selected_checkers()  # import every checker module into CHECKERS

@@ -43,6 +43,15 @@ class GNNModel(Module):
 
     # Subclasses implement these two.
     def embed(self, operator, x) -> Tensor:
+        """Penultimate node representations under ``operator``.
+
+        The serving contract behind the ``embed``/``link_score``/``topk``
+        tasks (:mod:`repro.serving.embeddings`): every registered model
+        returns the representation its classifier head consumes, and
+        ``forward`` must factor through it.  Under ``eval()`` the output
+        is deterministic (dropout is identity), so cached base-node
+        embeddings stay bitwise-comparable across processes.
+        """
         raise NotImplementedError
 
     def forward(self, operator, x) -> Tensor:

@@ -34,6 +34,7 @@ __all__ = [
     "ROUTERS",
     "SHED_POLICIES",
     "SCALE_POLICIES",
+    "TASKS",
     "register_reducer",
     "register_model",
     "register_dataset",
@@ -42,12 +43,14 @@ __all__ = [
     "register_router",
     "register_shed_policy",
     "register_scale_policy",
+    "register_task",
     "make_reducer",
     "make_scheduler",
     "make_workload",
     "make_router",
     "make_shed_policy",
     "make_scale_policy",
+    "make_task",
 ]
 
 T = TypeVar("T")
@@ -160,6 +163,7 @@ WORKLOADS: Registry[FactoryEntry] = Registry("workload generator")
 ROUTERS: Registry[FactoryEntry] = Registry("fleet routing policy")
 SHED_POLICIES: Registry[FactoryEntry] = Registry("gateway shed policy")
 SCALE_POLICIES: Registry[FactoryEntry] = Registry("gateway scale policy")
+TASKS: Registry[FactoryEntry] = Registry("serving task")
 
 
 def register_reducer(name: str, *, profile_params: tuple[str, ...] = (),
@@ -273,6 +277,26 @@ def register_scale_policy(name: str, *, description: str = "",
     return wrap
 
 
+def register_task(name: str, *, description: str = "",
+                  overwrite: bool = False):
+    """Decorator registering a serving-task executor factory under ``name``.
+
+    The decorated callable takes no arguments and returns the executor —
+    ``executor(prepared, task, batch_mode=..., frozen=...)`` — that every
+    serving layer dispatches :class:`~repro.serving.embeddings.ServeTask`
+    requests through.
+    """
+
+    def wrap(factory):
+        TASKS.register(
+            name, FactoryEntry(name=name.lower(), factory=factory,
+                               description=description),
+            overwrite=overwrite)
+        return factory
+
+    return wrap
+
+
 def make_reducer(method: str, seed: int = 0, **cfg):
     """Instantiate a registered reduction method.
 
@@ -306,3 +330,8 @@ def make_shed_policy(name: str, **cfg):
 def make_scale_policy(name: str, **cfg):
     """Instantiate a registered gateway scale policy."""
     return SCALE_POLICIES.get(name).factory(**cfg)
+
+
+def make_task(name: str, **cfg):
+    """Instantiate a registered serving-task executor."""
+    return TASKS.get(name).factory(**cfg)

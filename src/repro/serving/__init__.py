@@ -6,6 +6,11 @@ for.  The pieces:
 
 - :mod:`~repro.serving.prepared` — request-invariant cache with an exact
   (bitwise-parity) fast attach+normalize and a cached-propagation path;
+- :mod:`~repro.serving.embeddings` — the task-typed request surface:
+  :class:`~repro.serving.embeddings.ServeTask` (``predict`` | ``embed``
+  | ``link_score`` | ``topk``), the :data:`repro.registry.TASKS`
+  executors, the link-prediction scorer/holdout, and the mmap-shareable
+  :class:`~repro.serving.embeddings.EmbeddingIndex` sidecar;
 - :mod:`~repro.serving.runtime` — micro-batching runtime with futures;
 - :mod:`~repro.serving.scheduler` — pluggable batch-formation policies;
 - :mod:`~repro.serving.queue` — bounded admission with backpressure;
@@ -26,7 +31,10 @@ for.  The pieces:
   autoscaling, and the Prometheus-scrapeable ``GET /metrics`` page;
 - :mod:`~repro.serving.gateway_bench` — the ``repro bench-gateway``
   socket-throughput / shed-accounting / autoscale-reaction /
-  telemetry-overhead benchmark.
+  telemetry-overhead benchmark;
+- :mod:`~repro.serving.embed_bench` — the ``repro bench-embed``
+  per-task throughput / index-speedup / link-holdout /
+  delta-invalidation benchmark.
 
 Every layer reports into :mod:`repro.telemetry`: registry-backed
 counters/gauges, the shared ``repro_stage_latency_seconds`` histogram,
@@ -42,6 +50,18 @@ the network gateway.
 """
 
 from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
+from repro.serving.embeddings import (
+    SCORERS,
+    EmbeddingIndex,
+    ServeTask,
+    auc_score,
+    evaluate_link_holdout,
+    holdout_split,
+    sample_link_pairs,
+    score_pairs,
+    sidecar_index_path,
+    tasked_requests,
+)
 from repro.serving.queue import BoundedRequestQueue, QueueFullError
 from repro.serving.runtime import (
     IngestFuture,
@@ -110,9 +130,18 @@ from repro.serving.gateway_bench import (
     gate_gateway_benchmark,
     run_gateway_benchmark,
 )
+from repro.serving.embed_bench import (
+    EMBED_BENCH_SCHEMA_VERSION,
+    check_embed_benchmark_schema,
+    gate_embed_benchmark,
+    run_embed_benchmark,
+)
 
 __all__ = [
     "PreparedDeployment", "DeltaRefreshReport",
+    "ServeTask", "EmbeddingIndex", "SCORERS", "sidecar_index_path",
+    "score_pairs", "auc_score", "holdout_split", "sample_link_pairs",
+    "evaluate_link_holdout", "tasked_requests",
     "BoundedRequestQueue", "QueueFullError",
     "ServingRuntime", "ServingFuture", "IngestFuture", "Request",
     "merge_requests",
@@ -134,4 +163,6 @@ __all__ = [
     "ScalePolicy", "PinnedScale", "QueueDepthScale",
     "GATEWAY_BENCH_SCHEMA_VERSION", "check_gateway_benchmark_schema",
     "gate_gateway_benchmark", "run_gateway_benchmark",
+    "EMBED_BENCH_SCHEMA_VERSION", "check_embed_benchmark_schema",
+    "gate_embed_benchmark", "run_embed_benchmark",
 ]

@@ -1,0 +1,281 @@
+"""The embedding/task-serving benchmark behind ``repro bench-embed``.
+
+Measures, on a simulated dataset deployed on its original graph, what
+the task-typed serving surface exists for:
+
+- **per-task throughput** — the same closed-loop request replay served
+  as ``predict``, ``embed``, and ``topk`` tasks through
+  :meth:`~repro.serving.prepared.PreparedDeployment.serve_task`;
+  requests/s per task, plus the embed/topk ratios against predict.
+- **index speedup** — top-k queries answered from the precomputed
+  (memory-mapped sidecar) :class:`~repro.serving.embeddings.EmbeddingIndex`
+  versus a baseline that recomputes the base embedding matrix for every
+  query; the wall-clock ratio is the headline number and the CI gate
+  (``>= 2x``).
+- **link-prediction holdout** — an inductive edge-holdout AUC via
+  :func:`~repro.serving.embeddings.evaluate_link_holdout`: held-out
+  incremental edges must score above sampled non-edges by a recorded
+  margin over the 0.5 coin-flip floor.
+- **delta invalidation** — a delta trace applied to a deployment whose
+  (stale, mmap-attached) index predates the deltas; after every delta
+  the served top-k rows and embeddings are compared against a
+  from-scratch prepare on the evolved graph.  The gate requires zero
+  stale rows.
+
+The result is a machine-readable dict written to ``BENCH_embed.json`` —
+the repo's task-serving trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.graph.stream import make_delta_trace
+from repro.serving.embeddings import (
+    EmbeddingIndex,
+    ServeTask,
+    evaluate_link_holdout,
+    sidecar_index_path,
+)
+from repro.serving.prepared import PreparedDeployment
+from repro.serving.stream_bench import _pad_incremental
+from repro.serving.workload import split_requests
+from repro.utils.reports import require_keys, write_benchmark_json
+
+__all__ = ["EMBED_BENCH_SCHEMA_VERSION", "run_embed_benchmark",
+           "check_embed_benchmark_schema", "gate_embed_benchmark",
+           "write_benchmark_json"]
+
+EMBED_BENCH_SCHEMA_VERSION = 1
+
+
+def _replay_tasks(prepared: PreparedDeployment, requests, task: str, *,
+                  k: int, batch_mode: str) -> tuple[float, int]:
+    """Serve every request as ``task`` closed-loop; (seconds, count)."""
+    started = perf_counter()
+    for batch in requests:
+        prepared.serve_task(ServeTask(batch=batch, task=task, k=k),
+                            batch_mode=batch_mode)
+    return perf_counter() - started, len(requests)
+
+
+def _throughput_section(prepared: PreparedDeployment, requests, *,
+                        k: int, batch_mode: str) -> dict:
+    prepared.base_embeddings()  # warm once; steady-state rates below
+    rates = {}
+    for task in ("predict", "embed", "topk"):
+        seconds, count = _replay_tasks(prepared, requests, task,
+                                       k=k, batch_mode=batch_mode)
+        rates[f"{task}_rps"] = count / max(seconds, 1e-12)
+    rates["embed_vs_predict"] = rates["embed_rps"] / rates["predict_rps"]
+    rates["topk_vs_predict"] = rates["topk_rps"] / rates["predict_rps"]
+    return rates
+
+
+def _index_section(bundle, requests, *, k: int, batch_mode: str) -> dict:
+    """Precomputed-mmap-index top-k vs recomputing embeddings per query.
+
+    Both paths answer the same queries from the same (pre-embedded)
+    request vectors — the timed region isolates what the index is for:
+    answering a top-k query from the ready matrix versus paying a full
+    base ``embed()`` forward plus index construction per query.
+    """
+    prepared = bundle.prepare()
+    queries = [prepared.embed_batch(batch, batch_mode)[0]
+               for batch in requests]
+    with tempfile.TemporaryDirectory(prefix="repro-embed-") as temp_dir:
+        # the PR 5 artifact layout: the index rides next to the .npz
+        artifact = Path(temp_dir) / "deployment.npz"
+        sidecar = sidecar_index_path(artifact)
+        EmbeddingIndex(prepared.base_embeddings()).save(sidecar)
+        index = EmbeddingIndex.load(sidecar, mmap=True)
+        started = perf_counter()
+        for query in queries:
+            index.packed_topk(query, k)
+        indexed_seconds = perf_counter() - started
+        baseline = bundle.prepare()
+        started = perf_counter()
+        for query in queries:
+            baseline.invalidate_embeddings()
+            baseline.embedding_index().packed_topk(query, k)
+        recompute_seconds = perf_counter() - started
+    return {
+        "indexed_ms_total": indexed_seconds * 1e3,
+        "recompute_ms_total": recompute_seconds * 1e3,
+        "speedup": recompute_seconds / max(indexed_seconds, 1e-12),
+        "mmap": True,
+    }
+
+
+def _invalidation_section(bundle, request_pool, delta_pool, *, k: int,
+                          batch_mode: str, num_deltas: int,
+                          nodes_per_delta: int, edges_per_delta: int,
+                          removals_per_delta: int, updates_per_delta: int,
+                          seed: int) -> dict:
+    """Apply a delta trace; count top-k rows that cite the stale index."""
+    prepared = bundle.prepare()
+    with tempfile.TemporaryDirectory(prefix="repro-embed-") as temp_dir:
+        sidecar = sidecar_index_path(Path(temp_dir) / "deployment.npz")
+        EmbeddingIndex(prepared.base_embeddings()).save(sidecar)
+        # attach the mmap sidecar so the trace exercises the hardest
+        # invalidation case: a shared, precomputed, pre-delta matrix
+        prepared.attach_embedding_index(
+            EmbeddingIndex.load(sidecar, mmap=True))
+        trace = make_delta_trace(
+            bundle.base, delta_pool, num_deltas=num_deltas,
+            nodes_per_delta=nodes_per_delta,
+            edges_per_delta=edges_per_delta,
+            removals_per_delta=removals_per_delta,
+            updates_per_delta=updates_per_delta, seed=seed)
+        probe = request_pool.subset(
+            np.arange(min(4, request_pool.num_nodes)))
+        stale_rows = 0
+        embed_parity = True
+        deltas = 0
+        for delta in trace:
+            prepared.apply_delta(delta)
+            deltas += 1
+            fresh = PreparedDeployment(bundle.model(), "original",
+                                       prepared.base)
+            padded = _pad_incremental(probe, prepared.num_base)
+            task = ServeTask(batch=padded, task="topk",
+                             k=min(k, prepared.num_base))
+            served, _, _ = prepared.serve_task(task, batch_mode=batch_mode)
+            expected, _, _ = fresh.serve_task(task, batch_mode=batch_mode)
+            stale_rows += int(sum(
+                not np.array_equal(served[row], expected[row])
+                for row in range(served.shape[0])))
+            got, _, _ = prepared.embed_batch(padded, batch_mode)
+            want, _, _ = fresh.embed_batch(padded, batch_mode)
+            embed_parity &= np.array_equal(got, want)
+    return {"deltas": deltas, "stale_topk_rows": stale_rows,
+            "embed_parity": embed_parity}
+
+
+def run_embed_benchmark(dataset: str = "pubmed-sim", *,
+                        method: str = "mcond", budget: int | None = None,
+                        seed: int = 0, scale: float = 1.0,
+                        profile: str | None = "quick",
+                        num_requests: int = 32, nodes_per_request: int = 2,
+                        k: int = 5, holdout_pairs: int = 64,
+                        scorer: str = "dot",
+                        num_deltas: int = 4, nodes_per_delta: int = 2,
+                        edges_per_delta: int = 3,
+                        removals_per_delta: int = 1,
+                        updates_per_delta: int = 1,
+                        batch_mode: str = "node") -> dict:
+    """Run the embed benchmark end to end; returns the JSON-ready dict."""
+    from repro import api  # local import: serving stays facade-independent
+    from repro.experiments import dataset_budgets
+
+    if budget is None:
+        budget = dataset_budgets(dataset)[-1]
+    bundle = api.deploy(dataset, method, budget, deployment="original",
+                        seed=seed, scale=scale, profile=profile)
+    batch = api.evaluation_batch(bundle)
+    reserved = num_deltas * nodes_per_delta
+    if reserved >= batch.num_nodes:
+        raise ServingError(
+            f"delta trace wants {reserved} nodes but the evaluation batch "
+            f"holds {batch.num_nodes}; lower num_deltas/nodes_per_delta")
+    delta_pool = batch.subset(np.arange(reserved))
+    request_pool = batch.subset(np.arange(reserved, batch.num_nodes))
+    requests = split_requests(request_pool, num_requests, nodes_per_request)
+
+    prepared = bundle.prepare()
+    k = min(k, prepared.num_base)
+    throughput = _throughput_section(prepared, requests, k=k,
+                                     batch_mode=batch_mode)
+    index = _index_section(bundle, requests, k=k, batch_mode=batch_mode)
+    link = evaluate_link_holdout(bundle.prepare(), request_pool,
+                                 num_pairs=holdout_pairs, scorer=scorer,
+                                 batch_mode=batch_mode, seed=seed)
+    invalidation = _invalidation_section(
+        bundle, request_pool, delta_pool, k=k, batch_mode=batch_mode,
+        num_deltas=num_deltas, nodes_per_delta=nodes_per_delta,
+        edges_per_delta=edges_per_delta,
+        removals_per_delta=removals_per_delta,
+        updates_per_delta=updates_per_delta, seed=seed)
+
+    return {
+        "schema_version": EMBED_BENCH_SCHEMA_VERSION,
+        "kind": "embed-benchmark",
+        "dataset": dataset,
+        "method": method,
+        "budget": budget,
+        "seed": seed,
+        "scale": scale,
+        "batch_mode": batch_mode,
+        "k": k,
+        "num_requests": num_requests,
+        "nodes_per_request": nodes_per_request,
+        "holdout_pairs": holdout_pairs,
+        "num_deltas": num_deltas,
+        "throughput": throughput,
+        "index": index,
+        "link_prediction": link,
+        "invalidation": invalidation,
+    }
+
+
+def check_embed_benchmark_schema(result: dict) -> None:
+    """Validate the benchmark dict's shape; raises ServingError on drift."""
+    top = ("schema_version", "kind", "dataset", "method", "budget", "seed",
+           "scale", "batch_mode", "k", "num_requests", "nodes_per_request",
+           "holdout_pairs", "num_deltas", "throughput", "index",
+           "link_prediction", "invalidation")
+    require_keys(result, top, "embed benchmark result", ServingError)
+    if result["kind"] != "embed-benchmark":
+        raise ServingError(f"unexpected benchmark kind {result['kind']!r}")
+    require_keys(result["throughput"],
+                 ("predict_rps", "embed_rps", "topk_rps",
+                  "embed_vs_predict", "topk_vs_predict"),
+                 "throughput section", ServingError)
+    require_keys(result["index"],
+                 ("indexed_ms_total", "recompute_ms_total", "speedup",
+                  "mmap"),
+                 "index section", ServingError)
+    require_keys(result["link_prediction"],
+                 ("auc", "num_positive", "num_negative", "scorer",
+                  "seconds"),
+                 "link_prediction section", ServingError)
+    require_keys(result["invalidation"],
+                 ("deltas", "stale_topk_rows", "embed_parity"),
+                 "invalidation section", ServingError)
+
+
+def gate_embed_benchmark(result: dict, min_index_speedup: float = 2.0,
+                         auc_margin: float = 0.05) -> list[str]:
+    """Perf-gate checks; returns human-readable failure strings (empty =
+    green).  The gate is the tentpole's contract: the precomputed index
+    must beat per-query recomputation, link scores must carry signal,
+    and a delta must never leave a stale top-k row behind."""
+    check_embed_benchmark_schema(result)
+    failures = []
+    speedup = result["index"]["speedup"]
+    if speedup < min_index_speedup:
+        failures.append(
+            f"top-k from the precomputed index is not faster than "
+            f"recomputing embeddings per query "
+            f"({speedup:.2f}x < {min_index_speedup:.2f}x)")
+    floor = 0.5 + auc_margin
+    auc = result["link_prediction"]["auc"]
+    if auc < floor:
+        failures.append(
+            f"link-prediction holdout AUC {auc:.3f} is below the "
+            f"{floor:.3f} floor (0.5 + {auc_margin:.3f} margin)")
+    stale = result["invalidation"]["stale_topk_rows"]
+    if stale != 0:
+        failures.append(
+            f"{stale} top-k rows still cited the pre-delta index after "
+            f"apply_delta (expected zero stale rows)")
+    if not result["invalidation"]["embed_parity"]:
+        failures.append(
+            "post-delta embeddings drifted from a from-scratch prepare "
+            "(bitwise parity broken)")
+    return failures

@@ -22,9 +22,13 @@ The moving parts:
   dropped traffic.
 
 Every request is served as its own batch by exactly one replica, so the
-returned logits are bitwise identical to
-``PreparedDeployment.serve_batch`` on the same request — which replica
+returned results are bitwise identical to
+``PreparedDeployment.serve_task`` on the same request — which replica
 answers (and every failover re-route) is invisible in the outputs.
+Requests are task-typed :class:`~repro.serving.embeddings.ServeTask`
+objects (``predict`` | ``embed`` | ``link_score`` | ``topk``); replicas
+attach the artifact's memory-mapped embedding-index sidecar when one
+sits next to the ``.npz``, so ``topk`` never recomputes the base matrix.
 """
 
 from __future__ import annotations
@@ -34,18 +38,19 @@ import multiprocessing
 import queue as _queue
 import threading
 import time
+import warnings
 from bisect import bisect_right
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 import numpy as np
-import scipy.sparse as sp
 
 from repro.errors import ServingError
 from repro.graph.datasets import IncrementalBatch
 from repro.inference.benchmark import latency_percentiles
 from repro.registry import make_router, register_router
+from repro.serving.embeddings import ServeTask, _legacy_batch
 from repro.serving.runtime import ServingFuture
 from repro.serving.stats import RequestRecord
 from repro.telemetry import (
@@ -189,8 +194,18 @@ def _replica_worker(replica_id: int, generation: int, artifact: str,
     started = time.perf_counter()
     try:
         from repro.api import DeploymentBundle
+        from repro.serving.embeddings import (
+            EmbeddingIndex,
+            sidecar_index_path,
+        )
         bundle = DeploymentBundle.load(artifact, mmap=mmap_load)
         prepared = bundle.prepare(precision=precision)
+        sidecar = sidecar_index_path(artifact)
+        if sidecar.exists():
+            # one precomputed top-k matrix, memory-mapped by every
+            # replica — the page cache holds the arrays once per host
+            prepared.attach_embedding_index(
+                EmbeddingIndex.load(sidecar, mmap=mmap_load))
         cold_start = time.perf_counter() - started
         outbox.put(("ready", replica_id, generation, cold_start))
     except BaseException as error:  # noqa: BLE001 — reported to the pool
@@ -201,24 +216,27 @@ def _replica_worker(replica_id: int, generation: int, artifact: str,
         message = inbox.get()
         if message[0] == "stop":
             return
-        _, request_id, batch, mode, frozen, traced = message
+        _, request_id, task, traced = message
         # dequeue timestamp: perf_counter is CLOCK_MONOTONIC on Linux, so
         # the parent can subtract its own submit stamp to get the true
         # dispatch (IPC + inbox wait) span for this request
         t_start = time.perf_counter()
         try:
-            serve = prepared.serve_batch_frozen if frozen else prepared.serve_batch
             if traced:
                 trace = TraceContext(trace_id=f"replica-{request_id}")
                 with use_trace(trace):
-                    logits, seconds, _ = serve(batch, mode or batch_mode)
+                    result, seconds, _ = prepared.serve_task(
+                        task, batch_mode=task.mode or batch_mode,
+                        frozen=task.frozen)
                 spans = tuple((span.stage, span.seconds)
                               for span in trace.spans)
             else:
-                logits, seconds, _ = serve(batch, mode or batch_mode)
+                result, seconds, _ = prepared.serve_task(
+                    task, batch_mode=task.mode or batch_mode,
+                    frozen=task.frozen)
                 spans = ()
             outbox.put(("done", replica_id, generation, request_id,
-                        logits, seconds, t_start, spans))
+                        result, seconds, t_start, spans))
         except Exception as error:  # noqa: BLE001 — forwarded to the future
             outbox.put(("error", replica_id, generation, request_id,
                         f"{type(error).__name__}: {error}"))
@@ -249,12 +267,10 @@ class _Pending:
     """Parent-side copy of an in-flight request (the failover source)."""
 
     request_id: int
-    batch: IncrementalBatch
+    task: ServeTask
     key: str | None
     future: FleetFuture
     submitted_at: float
-    mode: str | None = None  # None → the fleet's batch_mode
-    frozen: bool = False  # serve via the cached-propagation fast path
     replica_id: int | None = None
     attempts: int = 0
     trace: TraceContext | None = None
@@ -543,60 +559,87 @@ class ServingFleet:
     # ------------------------------------------------------------------
     # Admission and dispatch
     # ------------------------------------------------------------------
-    def submit(self, features, incremental, intra=None, *,
+    def submit(self, request=None, incremental=None, intra=None, *,
                key: str | None = None, mode: str | None = None,
-               frozen: bool = False) -> FleetFuture:
+               frozen: bool = False, features=None) -> FleetFuture:
         """Admit one request; returns its :class:`FleetFuture`.
 
-        ``key`` feeds the routing policy (consistent-hash affinity);
-        requests without a key follow the policy's keyless behavior.
-        ``mode`` overrides the fleet's default batch mode for this
-        request only, and ``frozen`` serves it through the
-        cached-propagation fast path (SGC deployments) — the per-request
-        knobs the network gateway exposes on the wire.
+        The canonical call is ``submit(ServeTask(...))`` — the task
+        carries the batch plus the task type, routing ``key``, ``mode``
+        override, and ``frozen`` flag (keyword arguments given here still
+        override the task's fields).  The old raw-array form
+        ``submit(features, incremental, intra)`` remains as a deprecated
+        shim that serves a ``predict`` task.
         """
-        feats = np.asarray(features, dtype=np.float64)
-        if feats.ndim == 1:
-            feats = feats[None, :]
-        if feats.ndim != 2 or feats.shape[0] == 0:
-            raise ServingError(
-                f"request features must be (n >= 1, d), got {feats.shape}")
-        n = feats.shape[0]
-        if not sp.issparse(incremental):
-            incremental = sp.csr_matrix(
-                np.atleast_2d(np.asarray(incremental, dtype=np.float64)))
-        incremental = incremental.tocsr().astype(np.float64)
-        if intra is None:
-            intra = sp.csr_matrix((n, n), dtype=np.float64)
-        elif not sp.issparse(intra):
-            intra = sp.csr_matrix(np.asarray(intra, dtype=np.float64))
-        batch = IncrementalBatch(
-            features=feats, incremental=incremental, intra=intra.tocsr(),
-            labels=np.full(n, -1, dtype=np.int64))
-        return self.submit_batch(batch, key=key, mode=mode, frozen=frozen)
+        if isinstance(request, ServeTask):
+            if (incremental is not None or intra is not None
+                    or features is not None):
+                raise ServingError(
+                    "submit(ServeTask) takes no array arguments; put the "
+                    "request batch inside the task")
+            task = request
+            if key is not None or mode is not None or frozen:
+                task = replace(
+                    task, key=task.key if key is None else key,
+                    mode=task.mode if mode is None else mode,
+                    frozen=task.frozen or bool(frozen))
+            return self.submit_task(task)
+        warnings.warn(
+            "ServingFleet.submit(features, incremental, intra) is "
+            "deprecated; pass a ServeTask", DeprecationWarning,
+            stacklevel=2)
+        if features is None:
+            features = request
+        batch = _legacy_batch(features, incremental, intra)
+        return self.submit_task(ServeTask(batch=batch, mode=mode,
+                                          frozen=bool(frozen), key=key))
 
-    def submit_batch(self, batch: IncrementalBatch, *,
+    def submit_batch(self, batch: IncrementalBatch | ServeTask, *,
                      key: str | None = None, mode: str | None = None,
                      frozen: bool = False,
                      trace: TraceContext | None = None) -> FleetFuture:
-        """Admit a pre-assembled :class:`IncrementalBatch` as one request.
+        """Admit a pre-assembled batch (or :class:`ServeTask`) as one request.
 
-        A caller that already opened a trace (the gateway) passes it via
-        ``trace`` and stays responsible for finishing it; otherwise the
-        fleet stamps its own (when ``telemetry`` is on) and completes it
-        into its slow-request ring.
+        A bare :class:`IncrementalBatch` serves as a ``predict`` task —
+        the warning-free convenience spelling.  A caller that already
+        opened a trace (the gateway) passes it via ``trace`` and stays
+        responsible for finishing it; otherwise the fleet stamps its own
+        (when ``telemetry`` is on) and completes it into its
+        slow-request ring.
         """
-        if mode is not None and mode not in ("graph", "node"):
+        if isinstance(batch, ServeTask):
+            task = batch
+            if key is not None or mode is not None or frozen:
+                task = replace(
+                    task, key=task.key if key is None else key,
+                    mode=task.mode if mode is None else mode,
+                    frozen=task.frozen or bool(frozen))
+        else:
+            task = ServeTask(batch=batch, mode=mode, frozen=bool(frozen),
+                             key=key)
+        return self.submit_task(task, trace=trace)
+
+    def submit_task(self, task: ServeTask, *,
+                    trace: TraceContext | None = None) -> FleetFuture:
+        """Admit one task-typed request (the canonical fleet entrypoint).
+
+        Every submit spelling funnels through here; the
+        :class:`~repro.serving.embeddings.ServeTask` carries the batch
+        and every per-request knob (task type, routing key, mode
+        override, frozen flag, top-k depth, link pairs).
+        """
+        if not isinstance(task, ServeTask):
             raise ServingError(
-                f"mode must be 'graph' or 'node', got {mode!r}")
+                f"submit_task expects a ServeTask, got "
+                f"{type(task).__name__}")
         owns_trace = False
         if trace is None and self.telemetry:
-            trace = TraceContext(labels={"mode": mode or self.batch_mode})
+            trace = TraceContext(labels={"mode": task.mode or self.batch_mode,
+                                         "task": task.task})
             owns_trace = True
-        entry = _Pending(request_id=next(self._request_ids), batch=batch,
-                         key=key, future=FleetFuture(),
+        entry = _Pending(request_id=next(self._request_ids), task=task,
+                         key=task.key, future=FleetFuture(),
                          submitted_at=time.perf_counter(),
-                         mode=mode, frozen=bool(frozen),
                          trace=trace, owns_trace=owns_trace)
         entry.future.trace = trace
         with self._lock:
@@ -645,8 +688,7 @@ class ServingFleet:
         entry.replica_id = replica_id
         entry.attempts += 1
         replica.inflight.add(entry.request_id)
-        replica.inbox.put(("serve", entry.request_id, entry.batch,
-                           entry.mode, entry.frozen,
+        replica.inbox.put(("serve", entry.request_id, entry.task,
                            self.telemetry and entry.trace is not None))
 
     def _fail_entry(self, entry: _Pending, error: ServingError) -> None:
@@ -730,7 +772,7 @@ class ServingFleet:
                     entry.future.replica_id = replica_id
                     entry.future.attempts = entry.attempts
                     entry.future._resolve(logits, RequestRecord(
-                        num_nodes=entry.batch.num_nodes,
+                        num_nodes=entry.task.num_nodes,
                         queue_seconds=max(wall - compute_seconds, 0.0),
                         compute_seconds=compute_seconds, batch_size=1))
                 else:
@@ -1043,13 +1085,16 @@ class ServingFleet:
 # ----------------------------------------------------------------------
 # Replay helper (CLI + benchmark)
 # ----------------------------------------------------------------------
-def replay_fleet(fleet: ServingFleet, requests: list[IncrementalBatch], *,
+def replay_fleet(fleet: ServingFleet,
+                 requests: list[IncrementalBatch | ServeTask], *,
                  keys: list[str] | None = None,
                  timeout: float = 120.0) -> list[np.ndarray | None]:
     """Submit ``requests`` closed-loop and wait for every result.
 
-    Returns per-request logits (``None`` for requests the fleet failed),
-    in submission order — the fleet analogue of
+    Accepts plain batches (served as ``predict``) or task-typed
+    :class:`~repro.serving.embeddings.ServeTask` requests.  Returns
+    per-request results (``None`` for requests the fleet failed), in
+    submission order — the fleet analogue of
     :func:`repro.serving.workload.replay`.
     """
     if keys is not None and len(keys) != len(requests):

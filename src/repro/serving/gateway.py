@@ -651,15 +651,14 @@ class ServingGateway:
             # _complete closes with the reply span
             trace = TraceContext(
                 trace_id=request.trace_id,
-                labels={"mode": request.mode or self.fleet.batch_mode})
+                labels={"mode": request.mode or self.fleet.batch_mode,
+                        "task": request.task})
             admission = time.perf_counter() - admitted_at
             trace.add_stage("admission", admission)
             self._stage_latency.observe(
                 admission, component="gateway", stage="admission")
         try:
-            future = self.fleet.submit_batch(
-                request.batch, key=request.key, mode=request.mode,
-                frozen=request.frozen, trace=trace)
+            future = self.fleet.submit_task(request.to_task(), trace=trace)
         except ServingError as error:
             self._admission.get_nowait()
             self._requests_total.inc(outcome="error")

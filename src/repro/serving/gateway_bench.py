@@ -40,6 +40,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.errors import ServingError
+from repro.serving.embeddings import ServeTask
 from repro.serving.fleet import ServingFleet
 from repro.serving.fleet_bench import _measure_throughput, usable_cores
 from repro.serving.gateway import (QueueDepthScale, ServingGateway,
@@ -83,7 +84,8 @@ def _measure_socket_throughput(path: Path, replicas: int, requests, *,
                 client.serve_batch(request)
             gateway.fleet.reset_latencies()
             started = time.perf_counter()
-            count = len([client.submit(request) for request in requests])
+            count = len([client.submit(ServeTask(batch=request))
+                         for request in requests])
             replies = client.drain(count)
             wall = time.perf_counter() - started
             served = sum(reply.ok for reply in replies.values())
@@ -115,7 +117,8 @@ def _measure_shedding(path: Path, requests, *, router: str,
         hints = 0
         with GatewayClient(*gateway.address, encoding="binary") as client:
             for _ in range(rounds):
-                count = len([client.submit(r) for r in requests])
+                count = len([client.submit(ServeTask(batch=r))
+                             for r in requests])
                 for reply in client.drain(count).values():
                     if reply.status == "ok":
                         ok += 1
@@ -169,7 +172,7 @@ def _measure_autoscale(path: Path, requests, *, router: str,
                 wait = arrival - (time.monotonic() - ramp_started)
                 if wait > 0:
                     time.sleep(wait)
-                client.submit(request)
+                client.submit(ServeTask(batch=request))
             replies = client.drain(len(requests))
             ok = sum(reply.ok for reply in replies.values())
             shed = sum(reply.status == "shed" for reply in replies.values())
@@ -234,7 +237,8 @@ def _measure_telemetry_overhead(path: Path, replicas: int, requests, *,
                 for _ in range(repeats):
                     gateway.fleet.reset_latencies()
                     started = time.perf_counter()
-                    count = len([client.submit(r) for r in requests])
+                    count = len([client.submit(ServeTask(batch=r))
+                                 for r in requests])
                     replies = client.drain(count)
                     wall = time.perf_counter() - started
                     served = sum(reply.ok for reply in replies.values())

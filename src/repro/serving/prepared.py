@@ -110,8 +110,9 @@ class DeltaRefreshReport:
     ``"append-mapping"`` (synthetic deployment: mapping grew zero rows),
     or ``"noop"``.  ``refreshed`` names the caches brought up to date,
     ``invalidated`` the ones dropped for lazy recomputation (the warm
-    base logits — a full model forward — are never patched in place
-    because BLAS row-subset products are not bitwise reproducible).
+    base logits and the base embeddings / top-k index — full model
+    forwards — are never patched in place because BLAS row-subset
+    products are not bitwise reproducible).
     """
 
     mode: str
@@ -274,6 +275,11 @@ class PreparedDeployment:
         self._propagated: list[np.ndarray] | None = None
         self._hop_buffers: list[np.ndarray] | None = None
         self._base_logits: np.ndarray | None = None
+        self._base_embeddings: np.ndarray | None = None
+        # the top-k similarity index over the base embeddings — either
+        # attached from an mmap sidecar artifact or built lazily; dropped
+        # whenever a delta changes the base graph
+        self._embedding_index = None
         self._frozen_inv_base: np.ndarray | None = None
         #: int8 mode: per-hop ``(q, scale)`` pairs from absmax calibration.
         self._quantized: list[tuple[np.ndarray, np.ndarray]] | None = None
@@ -443,6 +449,45 @@ class PreparedDeployment:
         elapsed = time.perf_counter() - start
         return inductive, elapsed, memory
 
+    def embed_batch(self, batch: IncrementalBatch,
+                    batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
+        """Penultimate representations of the batch's inductive nodes.
+
+        Runs the models' ``embed()`` contract through the *same*
+        request-invariant attach/normalize cache path as
+        :meth:`serve_batch` — the operator assembly is shared bit for
+        bit, only the final classifier layer is skipped.  Under
+        ``eval()`` dropout is the identity, so embeddings are
+        deterministic.  Returns ``(embeddings, seconds, memory_bytes)``.
+        """
+        if batch_mode not in ("graph", "node"):
+            raise InferenceError(
+                f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
+        self.model.eval()
+        start = time.perf_counter()
+        intra = batch.intra if batch_mode == "graph" else None
+        with stage_span("operator"):
+            operator, features, memory = self.attach_normalize(
+                batch.incremental, batch.features, intra)
+        with stage_span("embed"), no_grad():
+            hidden = self.model.embed(operator, Tensor(features))
+        inductive = hidden.data[self.num_base:]
+        elapsed = time.perf_counter() - start
+        return inductive, elapsed, memory
+
+    def serve_task(self, task, *, batch_mode: str = "graph",
+                   frozen: bool = False):
+        """Execute one :class:`~repro.serving.embeddings.ServeTask`.
+
+        Dispatches through the :data:`repro.registry.TASKS` registry;
+        ``task="predict"`` lands on the very same :meth:`serve_batch` /
+        :meth:`serve_batch_frozen` calls as the keyword API, so its
+        replies stay bitwise identical.  Returns the executor's
+        ``(result, seconds, memory_bytes)`` triple.
+        """
+        from repro.serving.embeddings import execute_task
+        return execute_task(self, task, batch_mode=batch_mode, frozen=frozen)
+
     # ------------------------------------------------------------------
     # Warm base cache (standalone graph, no inductive nodes)
     # ------------------------------------------------------------------
@@ -495,6 +540,62 @@ class PreparedDeployment:
                                  Tensor(self.base_features))
             self._base_logits = out.data
         return self._base_logits
+
+    def base_embeddings(self) -> np.ndarray:
+        """Embeddings of the deployed (known) nodes, computed once.
+
+        The link-prediction scorer reads its base endpoints here.  An
+        attached :class:`~repro.serving.embeddings.EmbeddingIndex` (the
+        mmap sidecar) supplies the matrix directly; otherwise one
+        standalone ``embed()`` forward is cached, exactly like
+        :meth:`warm_base` caches the base logits.
+        """
+        if self._embedding_index is not None:
+            return np.asarray(self._embedding_index.embeddings)
+        if self._base_embeddings is None:
+            self.model.eval()
+            with no_grad():
+                out = self.model.embed(self.base_operator(),
+                                       Tensor(self.base_features))
+            self._base_embeddings = out.data
+        return self._base_embeddings
+
+    def embedding_index(self):
+        """The top-k similarity index over the base embeddings.
+
+        Built lazily from :meth:`base_embeddings` unless an mmap sidecar
+        index was attached.  :meth:`apply_delta` drops it, so top-k
+        replies never cite a pre-delta matrix.
+        """
+        if self._embedding_index is None:
+            from repro.serving.embeddings import EmbeddingIndex
+            self._embedding_index = EmbeddingIndex(self.base_embeddings())
+        return self._embedding_index
+
+    def attach_embedding_index(self, index) -> None:
+        """Adopt a precomputed (typically memory-mapped) embedding index.
+
+        Replica workers call this with the artifact's sidecar index so
+        every process on the host shares one page-cache copy of the
+        matrix instead of recomputing a base ``embed()`` forward each.
+        """
+        if int(index.num_nodes) != self.num_base:
+            raise ServingError(
+                f"embedding index covers {index.num_nodes} nodes but the "
+                f"deployment serves {self.num_base} base nodes")
+        self._embedding_index = index
+        self._base_embeddings = None
+
+    def invalidate_embeddings(self) -> None:
+        """Drop the cached base embeddings and top-k index.
+
+        Both are rebuilt lazily on the next ``embed``-family request.
+        :meth:`apply_delta` calls this whenever the base graph changes;
+        the embed benchmark calls it directly to measure what a serving
+        path without the precomputed index would pay per query.
+        """
+        self._base_embeddings = None
+        self._embedding_index = None
 
     def propagated_base_features(self) -> list[np.ndarray]:
         """``[X, ÂX, Â²X, ...]`` under the *standalone* normalization.
@@ -585,6 +686,36 @@ class PreparedDeployment:
         (``fused=False``).  Reduced precision modes run this path in
         float32, dequantizing int8 hop caches on gather.
         """
+        start = time.perf_counter()
+        h, memory = self._frozen_hidden(batch, batch_mode)
+        with stage_span("forward"), no_grad():
+            logits = self.model.classifier(Tensor(h))
+        elapsed = time.perf_counter() - start
+        return logits.data, elapsed, memory
+
+    def embed_batch_frozen(self, batch: IncrementalBatch,
+                           batch_mode: str = "graph") -> tuple[np.ndarray, float, int]:
+        """Frozen-path embeddings: the K-hop hidden state pre-classifier.
+
+        For SGC the embedding *is* the propagated feature block, so the
+        frozen hidden state (:meth:`_frozen_hidden`) — computed with the
+        identical fused kernels and fold order as
+        :meth:`serve_batch_frozen` — is returned as-is, just without the
+        classifier applied.
+        """
+        start = time.perf_counter()
+        h, memory = self._frozen_hidden(batch, batch_mode)
+        return h, time.perf_counter() - start, memory
+
+    def _frozen_hidden(self, batch: IncrementalBatch,
+                       batch_mode: str) -> tuple[np.ndarray, int]:
+        """The frozen path up to (excluding) the classifier: ``(h, memory)``.
+
+        Factored out so :meth:`serve_batch_frozen` and
+        :meth:`embed_batch_frozen` share one implementation — every
+        operation and its order is unchanged from the original frozen
+        serve, so frozen logits remain bitwise stable.
+        """
         if batch_mode not in ("graph", "node"):
             raise InferenceError(
                 f"batch_mode must be 'graph' or 'node', got {batch_mode!r}")
@@ -595,7 +726,6 @@ class PreparedDeployment:
             self.propagated_base_features()
         self.model.eval()
         dtype = self._dtype
-        start = time.perf_counter()
         with stage_span("operator"):
             new_feats = np.asarray(batch.features, dtype=dtype)
             n = new_feats.shape[0]
@@ -639,16 +769,13 @@ class PreparedDeployment:
                 op_nn = ea_loops.copy()
                 op_nn.data = nn_data
 
-        with stage_span("forward"):
+        with stage_span("propagate"):
             h = new_feats
             for k in range(self.model.k_hops):
                 h = op_nb @ self._hop_block(k, cols) + op_nn @ h
-            with no_grad():
-                logits = self.model.classifier(Tensor(h))
-        elapsed = time.perf_counter() - start
         memory = self._memory_bytes(n, inc_nnz_raw, int(ea_raw.nnz),
                                     self.num_base + n)
-        return logits.data, elapsed, memory
+        return h, memory
 
     # ------------------------------------------------------------------
     # Streaming evolution (incremental cache refresh)
@@ -731,6 +858,14 @@ class PreparedDeployment:
         if self._base_logits is not None:
             self._base_logits = None
             invalidated.append("warm_logits")
+        if (self._base_embeddings is not None
+                or self._embedding_index is not None):
+            # the top-k matrix must never outlive the graph it indexed;
+            # like the warm logits, embeddings are recomputed lazily
+            # (never patched row-wise — BLAS row-subset products are not
+            # bitwise reproducible)
+            self.invalidate_embeddings()
+            invalidated.append("embeddings")
         if not materialized:
             return DeltaRefreshReport(
                 mode="incremental", seconds=time.perf_counter() - start,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,6 +40,7 @@ from repro.errors import InferenceError, ServingError
 from repro.graph.datasets import IncrementalBatch
 from repro.graph.stream import GraphDelta
 from repro.registry import make_scheduler
+from repro.serving.embeddings import ServeTask
 from repro.serving.prepared import DeltaRefreshReport, PreparedDeployment
 from repro.serving.queue import BoundedRequestQueue, QueueFullError
 from repro.serving.scheduler import MicroBatchScheduler
@@ -141,7 +143,12 @@ class ServingFuture:
 
 @dataclass
 class Request:
-    """One admitted request: ``n >= 1`` inductive nodes with connectivity."""
+    """One admitted request: ``n >= 1`` inductive nodes with connectivity.
+
+    The task fields mirror :class:`~repro.serving.embeddings.ServeTask`;
+    the defaults reproduce the classic predict request, so the deprecated
+    keyword API admits unchanged.
+    """
 
     features: np.ndarray
     incremental: sp.csr_matrix
@@ -149,10 +156,22 @@ class Request:
     future: ServingFuture = field(default_factory=ServingFuture)
     enqueued_at: float = 0.0
     trace: TraceContext | None = None
+    task: str = "predict"
+    frozen: bool = False
+    k: int = 10
+    pairs: np.ndarray | None = None
+    scorer: str = "dot"
 
     @property
     def num_nodes(self) -> int:
         return self.features.shape[0]
+
+    @property
+    def result_rows(self) -> int:
+        """Reply rows this request owns in its group's merged result."""
+        if self.task == "link_score":
+            return int(self.pairs.shape[0])
+        return self.num_nodes
 
 
 def merge_requests(requests: list[Request]) -> IncrementalBatch:
@@ -266,18 +285,67 @@ class ServingRuntime:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, features, incremental, intra=None,
+    def submit(self, request=None, incremental=None, intra=None,
                timeout: float | None = None,
-               trace: TraceContext | None = None) -> ServingFuture:
+               trace: TraceContext | None = None, *,
+               features=None) -> ServingFuture:
         """Admit one request; returns its :class:`ServingFuture`.
 
-        ``features`` is ``(n, d)`` (or ``(d,)`` for a single node),
-        ``incremental`` the ``(n, N)`` connections into the original
-        graph, ``intra`` the optional ``(n, n)`` edges among the
-        request's own nodes.  Pass a ``trace`` to collect the request's
+        The canonical argument is a
+        :class:`~repro.serving.embeddings.ServeTask` — one object
+        carrying the batch plus the task type and its options.  Pass a
+        ``trace`` to collect the request's
         ``queue_wait``/``assembly``/``serve`` stage spans.
+
+        .. deprecated::
+            The keyword form ``submit(features, incremental, intra)``
+            (raw arrays, implies ``task="predict"``) still works but
+            emits a :class:`DeprecationWarning`; wrap the arrays in an
+            :class:`~repro.graph.datasets.IncrementalBatch` and a
+            ``ServeTask`` instead.
         """
-        request = self._build_request(features, incremental, intra)
+        if isinstance(request, ServeTask):
+            if incremental is not None or intra is not None \
+                    or features is not None:
+                raise ServingError(
+                    "submit(ServeTask) takes no array arguments — the "
+                    "task object already carries its batch")
+            return self._submit_task(request, timeout=timeout, trace=trace)
+        warnings.warn(
+            "ServingRuntime.submit(features, incremental, intra) is "
+            "deprecated; pass a ServeTask",
+            DeprecationWarning, stacklevel=2)
+        if features is None:
+            features = request
+        built = self._build_request(features, incremental, intra)
+        return self._enqueue(built, timeout, trace)
+
+    def submit_batch(self, batch: IncrementalBatch | ServeTask,
+                     timeout: float | None = None,
+                     trace: TraceContext | None = None) -> ServingFuture:
+        """Admit a pre-assembled :class:`IncrementalBatch` (served as
+        ``task="predict"``) or a :class:`ServeTask` as one request."""
+        if not isinstance(batch, ServeTask):
+            batch = ServeTask(batch=batch)
+        return self._submit_task(batch, timeout=timeout, trace=trace)
+
+    def _submit_task(self, task: ServeTask, *, timeout: float | None,
+                     trace: TraceContext | None) -> ServingFuture:
+        if task.mode is not None and task.mode != self.batch_mode:
+            raise ServingError(
+                f"this runtime serves batch_mode={self.batch_mode!r}; "
+                f"the request asked for mode={task.mode!r}")
+        built = self._build_request(task.batch.features,
+                                    task.batch.incremental, task.batch.intra)
+        built.task = task.task
+        built.frozen = task.frozen
+        built.k = task.k
+        built.pairs = task.pairs
+        built.scorer = task.scorer
+        return self._enqueue(built, timeout, trace)
+
+    def _enqueue(self, request: Request, timeout: float | None,
+                 trace: TraceContext | None) -> ServingFuture:
         request.enqueued_at = time.perf_counter()
         request.trace = trace
         try:
@@ -294,12 +362,6 @@ class ServingRuntime:
             evicted.future._fail(ServingError(
                 "request dropped: evicted by a newer arrival (drop_oldest)"))
         return request.future
-
-    def submit_batch(self, batch: IncrementalBatch,
-                     timeout: float | None = None) -> ServingFuture:
-        """Admit a pre-assembled :class:`IncrementalBatch` as one request."""
-        return self.submit(batch.features, batch.incremental, batch.intra,
-                           timeout=timeout)
 
     def _build_request(self, features, incremental, intra) -> Request:
         feats = np.asarray(features, dtype=np.float64)
@@ -494,18 +556,59 @@ class ServingRuntime:
 
     def _execute(self, requests: list[Request],
                  assembly_seconds: float = 0.0) -> None:
-        started = time.perf_counter()
         try:
             requests = self._align_request_widths(requests)
-            if not requests:
-                return
-            merged = merge_requests(requests)
-            if self.precision == "frozen":
-                logits, compute_seconds, _ = self.prepared.serve_batch_frozen(
-                    merged, self.batch_mode)
-            else:
-                logits, compute_seconds, _ = self.prepared.serve_batch(
-                    merged, self.batch_mode)
+        except Exception as error:  # noqa: BLE001 — forwarded to futures
+            for request in requests:
+                request.future._fail(error)
+            self.accounting.observe_failure(len(requests))
+            self._requests_total.inc(len(requests), outcome="failed")
+            return
+        if not requests:
+            return
+        if self.telemetry:
+            self._stage_latency.observe(
+                assembly_seconds, component="runtime", stage="assembly")
+        # one forward per execution signature: requests of the same task
+        # (and task options) coalesce exactly as before — a micro-batch
+        # of only predict requests takes the identical merged path the
+        # pre-task runtime took, so its logits are bitwise unchanged
+        groups: dict[tuple, list[Request]] = {}
+        for request in requests:
+            key = (request.task, request.frozen, request.k, request.scorer)
+            groups.setdefault(key, []).append(request)
+        for group in groups.values():
+            self._execute_group(group, assembly_seconds)
+
+    def _merged_task(self, requests: list[Request]) -> ServeTask:
+        """The group's merged :class:`ServeTask` (shared task options).
+
+        ``link_score`` pairs cite batch-local rows, so each request's
+        pair block is shifted by its row offset in the merged batch.
+        """
+        proto = requests[0]
+        merged = merge_requests(requests)
+        pairs = None
+        if proto.task == "link_score":
+            blocks = []
+            offset = 0
+            for request in requests:
+                shifted = request.pairs.copy()
+                shifted[:, 0] += offset
+                blocks.append(shifted)
+                offset += request.num_nodes
+            pairs = np.concatenate(blocks, axis=0)
+        return ServeTask(batch=merged, task=proto.task, k=proto.k,
+                         pairs=pairs, scorer=proto.scorer)
+
+    def _execute_group(self, requests: list[Request],
+                       assembly_seconds: float) -> None:
+        started = time.perf_counter()
+        try:
+            task = self._merged_task(requests)
+            frozen = requests[0].frozen or self.precision == "frozen"
+            result, compute_seconds, _ = self.prepared.serve_task(
+                task, batch_mode=self.batch_mode, frozen=frozen)
         except Exception as error:  # noqa: BLE001 — forwarded to futures
             for request in requests:
                 request.future._fail(error)
@@ -515,14 +618,12 @@ class ServingRuntime:
         finished = time.perf_counter()
         if self.telemetry:
             self._stage_latency.observe(
-                assembly_seconds, component="runtime", stage="assembly")
-            self._stage_latency.observe(
                 compute_seconds, component="runtime", stage="serve")
         records = []
         offset = 0
         for request in requests:
-            rows = logits[offset:offset + request.num_nodes]
-            offset += request.num_nodes
+            rows = result[offset:offset + request.result_rows]
+            offset += request.result_rows
             queue_wait = max(started - request.enqueued_at, 0.0)
             if self.telemetry:
                 self._stage_latency.observe(

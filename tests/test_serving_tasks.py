@@ -1,0 +1,475 @@
+"""Task-typed serving: ServeTask, executors, wire v2, shims, invalidation."""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import api
+from repro.errors import ServingError
+from repro.graph.datasets import IncrementalBatch
+from repro.graph.stream import make_delta_trace
+from repro.registry import TASKS
+from repro.serving import (
+    EmbeddingIndex,
+    GatewayClient,
+    PreparedDeployment,
+    ServeTask,
+    ServingFleet,
+    ServingGateway,
+    auc_score,
+    score_pairs,
+    sidecar_index_path,
+    split_requests,
+    tasked_requests,
+)
+from repro.serving.stream_bench import _pad_incremental
+from repro.serving.protocol import (
+    ProtocolError,
+    decode_serve_request,
+    encode_frame,
+    encode_serve_request,
+    read_frame_from,
+)
+
+
+# ----------------------------------------------------------------------
+# Shared artifacts (module-cached: deploys and process spawns are slow)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def task_bundle():
+    return api.deploy("tiny-sim", "mcond", 9, profile="quick",
+                      deployment="original")
+
+
+@pytest.fixture(scope="module")
+def task_artifact(task_bundle, tmp_path_factory):
+    root = tmp_path_factory.mktemp("task-artifacts")
+    artifact = task_bundle.save(root / "original.npz", layout="mmap")
+    # the sidecar index replicas probe for and memory-map on startup
+    api.save_embedding_index(task_bundle, artifact)
+    return artifact
+
+
+@pytest.fixture(scope="module")
+def task_requests(task_bundle):
+    return split_requests(api.evaluation_batch(task_bundle), 8, 2)
+
+
+@pytest.fixture(scope="module")
+def prepared(task_bundle):
+    return task_bundle.prepare()
+
+
+@pytest.fixture(scope="module")
+def task_fleet(task_artifact):
+    with ServingFleet(task_artifact, 1, router="round-robin",
+                      batch_mode="node") as fleet:
+        yield fleet
+
+
+@pytest.fixture(scope="module")
+def task_gateway(task_artifact):
+    fleet = ServingFleet(task_artifact, 1, router="round-robin",
+                         batch_mode="node")
+    gw = ServingGateway(fleet, max_inflight=64, owns_fleet=True)
+    gw.start()
+    yield gw
+    gw.close()
+
+
+def _toy_batch(n: int = 3, d: int = 4, total: int = 10) -> IncrementalBatch:
+    rng = np.random.default_rng(5)
+    return IncrementalBatch(
+        features=rng.standard_normal((n, d)),
+        incremental=sp.random(n, total, density=0.4, random_state=3,
+                              format="csr", dtype=np.float64),
+        intra=sp.random(n, n, density=0.5, random_state=4, format="csr",
+                        dtype=np.float64),
+        labels=np.full(n, -1, dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# The request object
+# ----------------------------------------------------------------------
+class TestServeTask:
+    def test_registry_covers_all_tasks(self):
+        assert set(TASKS.keys()) == {"predict", "embed", "link_score",
+                                     "topk"}
+        for _, entry in TASKS.items():
+            assert entry.description
+
+    def test_rejects_non_batch(self):
+        with pytest.raises(ServingError, match="IncrementalBatch"):
+            ServeTask(batch=np.zeros((2, 3)))
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ServingError, match="unknown serving task"):
+            ServeTask(batch=_toy_batch(), task="classify")
+
+    def test_rejects_bad_scorer_and_k(self):
+        with pytest.raises(ServingError, match="scorer"):
+            ServeTask(batch=_toy_batch(), scorer="cosine")
+        with pytest.raises(ServingError, match="k >= 1"):
+            ServeTask(batch=_toy_batch(), task="topk", k=0)
+
+    def test_link_score_needs_well_formed_pairs(self):
+        with pytest.raises(ServingError, match="needs pairs"):
+            ServeTask(batch=_toy_batch(), task="link_score")
+        with pytest.raises(ServingError, match=r"\(p, 2\)"):
+            ServeTask(batch=_toy_batch(), task="link_score",
+                      pairs=np.zeros((4, 3), dtype=np.int64))
+
+    def test_result_rows(self):
+        batch = _toy_batch(n=3)
+        pairs = np.array([[0, 1], [2, 4], [1, 0], [0, 9], [2, 2]])
+        assert ServeTask(batch=batch).result_rows() == 3
+        link = ServeTask(batch=batch, task="link_score", pairs=pairs)
+        assert link.result_rows() == 5
+        assert link.pairs.dtype == np.int64
+
+    def test_tasked_requests_wraps_every_batch(self, task_requests):
+        tasks = tasked_requests(task_requests, "topk", k=3)
+        assert all(t.task == "topk" and t.k == 3 for t in tasks)
+        link = tasked_requests(task_requests, "link_score", num_pairs=4)
+        assert all(t.pairs.shape == (4, 2) for t in link)
+
+
+# ----------------------------------------------------------------------
+# Executors against PreparedDeployment
+# ----------------------------------------------------------------------
+class TestExecutors:
+    def test_predict_is_bitwise_identical_to_serve_batch(self, prepared,
+                                                         task_requests):
+        batch = task_requests[0]
+        direct, _, _ = prepared.serve_batch(batch, "node")
+        tasked, _, _ = prepared.serve_task(
+            ServeTask(batch=batch), batch_mode="node")
+        assert np.array_equal(direct, tasked)
+
+    def test_embed_matches_embed_batch(self, prepared, task_requests):
+        batch = task_requests[0]
+        direct, _, _ = prepared.embed_batch(batch, "node")
+        tasked, _, _ = prepared.serve_task(
+            ServeTask(batch=batch, task="embed"), batch_mode="node")
+        assert np.array_equal(direct, tasked)
+        assert tasked.shape[0] == batch.num_nodes
+
+    def test_link_score_combines_cached_endpoints(self, prepared,
+                                                  task_requests):
+        batch = task_requests[1]
+        pairs = np.array([[0, 0], [1, 3], [0, 7], [1, 1]])
+        for scorer in ("dot", "hadamard"):
+            task = ServeTask(batch=batch, task="link_score", pairs=pairs,
+                             scorer=scorer)
+            scores, _, _ = prepared.serve_task(task, batch_mode="node")
+            request_side, _, _ = prepared.embed_batch(batch, "node")
+            expected = score_pairs(request_side[pairs[:, 0]],
+                                   prepared.base_embeddings()[pairs[:, 1]],
+                                   scorer)
+            assert np.array_equal(scores, expected)
+
+    def test_topk_packs_exact_cosine_neighbors(self, prepared,
+                                               task_requests):
+        batch, k = task_requests[2], 4
+        rows, _, _ = prepared.serve_task(
+            ServeTask(batch=batch, task="topk", k=k), batch_mode="node")
+        assert rows.shape == (batch.num_nodes, 2 * k)
+        queries, _, _ = prepared.embed_batch(batch, "node")
+
+        def unit(m):
+            norms = np.linalg.norm(m, axis=1, keepdims=True)
+            return np.where(norms > 0, m / np.where(norms == 0, 1, norms),
+                            0.0)
+
+        sims = unit(queries) @ unit(prepared.base_embeddings()).T
+        for row in range(batch.num_nodes):
+            order = np.argsort(-sims[row], kind="stable")[:k]
+            assert np.array_equal(rows[row, :k].astype(np.int64), order)
+            assert np.array_equal(rows[row, k:], sims[row][order])
+
+    def test_attached_index_answers_match_lazy_build(self, task_bundle,
+                                                     task_artifact,
+                                                     task_requests):
+        lazy = task_bundle.prepare()
+        attached = task_bundle.prepare()
+        attached.attach_embedding_index(
+            EmbeddingIndex.load(sidecar_index_path(task_artifact),
+                                mmap=True))
+        task = ServeTask(batch=task_requests[0], task="topk", k=3)
+        want, _, _ = lazy.serve_task(task, batch_mode="node")
+        got, _, _ = attached.serve_task(task, batch_mode="node")
+        assert np.array_equal(want, got)
+
+
+class TestEmbeddingIndex:
+    def test_save_load_mmap_parity(self, tmp_path):
+        matrix = np.random.default_rng(3).standard_normal((6, 4))
+        index = EmbeddingIndex(matrix)
+        path = index.save(tmp_path / "embed.npz")
+        loaded = EmbeddingIndex.load(path, mmap=True)
+        assert np.array_equal(loaded.embeddings, index.embeddings)
+        assert np.array_equal(loaded.normalized, index.normalized)
+        ids, scores = index.topk(matrix[:2], 3)
+        ids2, scores2 = loaded.topk(matrix[:2], 3)
+        assert np.array_equal(ids, ids2)
+        assert np.array_equal(scores, scores2)
+        assert ids[0, 0] == 0  # a row is its own nearest neighbour
+
+    def test_topk_rejects_oversized_k(self):
+        index = EmbeddingIndex(np.eye(3))
+        with pytest.raises(ServingError, match="only 3 base nodes"):
+            index.topk(np.eye(3), 4)
+
+    def test_sidecar_path_rides_the_artifact(self, tmp_path):
+        assert sidecar_index_path(tmp_path / "a.npz").name \
+            == "a.embeddings.npz"
+
+    def test_auc_sanity(self):
+        labels = np.array([1, 1, 0, 0])
+        assert auc_score(np.array([4.0, 3.0, 2.0, 1.0]), labels) == 1.0
+        assert auc_score(np.array([1.0, 2.0, 3.0, 4.0]), labels) == 0.0
+        assert auc_score(np.zeros(4), labels) == 0.5
+        with pytest.raises(ServingError, match="positive and negative"):
+            auc_score(np.zeros(2), np.ones(2))
+
+
+# ----------------------------------------------------------------------
+# Deprecated keyword shims (one warning each, results unchanged)
+# ----------------------------------------------------------------------
+class TestDeprecatedShims:
+    def test_runtime_raw_array_submit_warns(self, task_bundle,
+                                            task_requests):
+        batch = task_requests[0]
+        with api.open_runtime(task_bundle, batch_mode="node") as runtime:
+            with pytest.warns(DeprecationWarning,
+                              match="ServingRuntime.submit"):
+                legacy = runtime.submit(batch.features, batch.incremental,
+                                        batch.intra)
+            legacy = legacy.result(timeout=30.0)
+            modern = runtime.submit(ServeTask(batch=batch)).result(
+                timeout=30.0)
+        assert np.array_equal(legacy, modern)
+
+    def test_runtime_rejects_task_plus_arrays(self, task_bundle,
+                                              task_requests):
+        batch = task_requests[0]
+        with api.open_runtime(task_bundle, batch_mode="node") as runtime:
+            with pytest.raises(ServingError, match="no array arguments"):
+                runtime.submit(ServeTask(batch=batch),
+                               incremental=batch.incremental)
+
+    def test_fleet_raw_array_submit_warns(self, task_fleet, prepared,
+                                          task_requests):
+        batch = task_requests[0]
+        with pytest.warns(DeprecationWarning, match="ServingFleet.submit"):
+            future = task_fleet.submit(batch.features, batch.incremental,
+                                       batch.intra)
+        direct, _, _ = prepared.serve_batch(batch, "node")
+        assert np.array_equal(future.result(timeout=60.0), direct)
+
+    def test_gateway_client_batch_submit_warns(self, task_gateway,
+                                               task_requests):
+        batch = task_requests[0]
+        with GatewayClient(task_gateway.host, task_gateway.port) as client:
+            with pytest.warns(DeprecationWarning,
+                              match="GatewayClient.submit"):
+                request_id = client.submit(batch)
+            reply = client.drain(1)[request_id]
+        assert reply.status == "ok"
+
+
+# ----------------------------------------------------------------------
+# Wire protocol v2 and the v1 back-compat matrix
+# ----------------------------------------------------------------------
+def _round_trip_frame(frame):
+    header, payload = read_frame_from(io.BytesIO(frame).read)
+    return decode_serve_request(header, payload)
+
+
+class TestProtocolVersions:
+    @pytest.mark.parametrize("version", [1, 2])
+    @pytest.mark.parametrize("encoding", ["json", "binary"])
+    def test_decode_matrix_defaults_to_predict(self, version, encoding):
+        batch = _toy_batch()
+        frame = encode_serve_request(3, batch, encoding=encoding,
+                                     version=version)
+        request = _round_trip_frame(frame)
+        assert request.task == "predict"
+        assert request.to_task().task == "predict"
+        assert np.array_equal(request.batch.features, batch.features)
+        assert np.array_equal(request.batch.incremental.toarray(),
+                              batch.incremental.toarray())
+
+    @pytest.mark.parametrize("encoding", ["json", "binary"])
+    def test_v2_task_fields_round_trip(self, encoding):
+        batch = _toy_batch()
+        pairs = np.array([[0, 1], [2, 7]], dtype=np.int64)
+        topk = _round_trip_frame(encode_serve_request(
+            4, ServeTask(batch=batch, task="topk", k=3), encoding=encoding))
+        assert (topk.task, topk.k) == ("topk", 3)
+        link = _round_trip_frame(encode_serve_request(
+            5, ServeTask(batch=batch, task="link_score", pairs=pairs,
+                         scorer="hadamard"), encoding=encoding))
+        assert (link.task, link.scorer) == ("link_score", "hadamard")
+        assert np.array_equal(link.to_task().pairs, pairs)
+
+    def test_predict_v2_frame_is_byte_identical_to_v1_payload(self):
+        batch = _toy_batch()
+        v1 = encode_serve_request(6, batch, version=1)
+        v2 = encode_serve_request(6, ServeTask(batch=batch), version=2)
+        # same header/payload; only the version byte in the prefix moves
+        assert v1[5:] == v2[5:]
+
+    def test_v1_cannot_carry_non_predict_tasks(self):
+        task = ServeTask(batch=_toy_batch(), task="embed")
+        with pytest.raises(ServingError, match="needs protocol v2"):
+            encode_serve_request(7, task, version=1)
+
+    def test_unknown_task_rejected_at_decode(self):
+        frame = encode_serve_request(8, ServeTask(batch=_toy_batch()))
+        header, payload = read_frame_from(io.BytesIO(frame).read)
+        header["task"] = "classify"
+        with pytest.raises(ProtocolError, match="unknown serving task"):
+            decode_serve_request(header, payload)
+
+    def test_unknown_task_gets_structured_error_reply(self, task_gateway):
+        """A bad task draws an error reply; the connection stays usable."""
+        batch = _toy_batch(n=2)
+        with GatewayClient(task_gateway.host, task_gateway.port) as client:
+            frame = encode_serve_request(1, ServeTask(batch=batch))
+            header, payload = read_frame_from(io.BytesIO(frame).read)
+            header["task"] = "classify"
+            client._sock.sendall(encode_frame(header, payload))
+            reply = client._read_reply()
+            assert reply.status == "error"
+            assert "unknown serving task" in reply.error
+            assert client.ping().status == "pong"
+
+
+# ----------------------------------------------------------------------
+# Every task through runtime, fleet, and gateway — one surface
+# ----------------------------------------------------------------------
+def _all_task_requests(batch):
+    pairs = np.array([[0, 0], [1, 5], [0, 3]], dtype=np.int64)
+    return [ServeTask(batch=batch),
+            ServeTask(batch=batch, task="embed"),
+            ServeTask(batch=batch, task="link_score", pairs=pairs),
+            ServeTask(batch=batch, task="topk", k=3)]
+
+
+class TestEveryLayerServesEveryTask:
+    def test_runtime(self, task_bundle, prepared, task_requests):
+        batch = task_requests[3]
+        with api.open_runtime(task_bundle, batch_mode="node") as runtime:
+            for task in _all_task_requests(batch):
+                got = runtime.submit(task).result(timeout=30.0)
+                want, _, _ = prepared.serve_task(task, batch_mode="node")
+                assert np.array_equal(got, want), task.task
+
+    def test_fleet(self, task_fleet, prepared, task_requests):
+        batch = task_requests[4]
+        for task in _all_task_requests(batch):
+            got = task_fleet.submit_task(task).result(timeout=60.0)
+            want, _, _ = prepared.serve_task(task, batch_mode="node")
+            assert np.array_equal(got, want), task.task
+
+    def test_gateway_socket_matches_direct_bitwise(self, task_gateway,
+                                                   prepared, task_requests):
+        batch = task_requests[5]
+        with GatewayClient(task_gateway.host, task_gateway.port) as client:
+            for task in _all_task_requests(batch):
+                reply = client.serve_batch(task)
+                assert reply.status == "ok"
+                want, _, _ = prepared.serve_task(task, batch_mode="node")
+                assert np.array_equal(reply.logits, want), task.task
+
+    def test_runtime_merges_mixed_tasks_correctly(self, task_bundle,
+                                                  prepared, task_requests):
+        """Different tasks in one scheduler window never cross-batch.
+
+        With the immediate scheduler (no merging) every mixed-task reply
+        is bitwise identical to a direct serve.  Under micro-batch
+        merging the exact path legitimately shifts — co-arriving nodes
+        perturb the shared base normalization — so those replies are
+        only held to shape and a coarse tolerance, which still catches
+        a reply that demuxed the wrong rows or the wrong task.
+        """
+        with api.open_runtime(task_bundle, batch_mode="node",
+                              scheduler="immediate") as runtime:
+            futures = [(task, runtime.submit(task))
+                       for batch in task_requests[:3]
+                       for task in _all_task_requests(batch)]
+            for task, future in futures:
+                want, _, _ = prepared.serve_task(task, batch_mode="node")
+                assert np.array_equal(future.result(timeout=30.0), want), \
+                    task.task
+        with api.open_runtime(task_bundle, batch_mode="node",
+                              max_batch_size=16,
+                              max_wait_ms=50.0) as runtime:
+            futures = [(task, runtime.submit(task))
+                       for batch in task_requests[:3]
+                       for task in _all_task_requests(batch)]
+            for task, future in futures:
+                got = future.result(timeout=30.0)
+                want, _, _ = prepared.serve_task(task, batch_mode="node")
+                assert got.shape == want.shape, task.task
+                # topk ranks and near-zero link dots are too sensitive
+                # to the merge perturbation for a numeric bound
+                if task.task in ("predict", "embed"):
+                    assert np.allclose(got, want, rtol=0.05, atol=0.05), \
+                        task.task
+
+
+# ----------------------------------------------------------------------
+# apply_delta invalidation of the embedding caches
+# ----------------------------------------------------------------------
+class TestDeltaInvalidation:
+    def test_invalidate_embeddings_drops_both_caches(self, task_bundle):
+        fresh = task_bundle.prepare()
+        before = fresh.base_embeddings()
+        assert fresh.embedding_index() is fresh.embedding_index()
+        fresh.invalidate_embeddings()
+        assert fresh._base_embeddings is None
+        assert fresh._embedding_index is None
+        assert np.array_equal(fresh.base_embeddings(), before)
+
+    def test_apply_delta_refreshes_stale_mmap_index(self, task_bundle,
+                                                    task_artifact,
+                                                    task_requests):
+        """The ISSUE contract: after each delta, embed/topk answers on a
+        deployment with a pre-delta mmap index match a from-scratch
+        prepare on the evolved graph — zero stale rows."""
+        evolving = task_bundle.prepare()
+        evolving.attach_embedding_index(
+            EmbeddingIndex.load(sidecar_index_path(task_artifact),
+                                mmap=True))
+        batch = api.evaluation_batch(task_bundle)
+        pool = batch.subset(np.arange(6))
+        trace = make_delta_trace(task_bundle.base, pool, num_deltas=3,
+                                 nodes_per_delta=2, edges_per_delta=3,
+                                 removals_per_delta=1,
+                                 updates_per_delta=1, seed=11)
+        probe = task_requests[6]
+        for delta in trace:
+            report = evolving.apply_delta(delta)
+            assert "embeddings" in report.invalidated
+            fresh = PreparedDeployment(task_bundle.model(), "original",
+                                       evolving.base)
+            padded = _pad_incremental(probe, evolving.num_base)
+            task = ServeTask(batch=padded, task="topk", k=3)
+            got, _, _ = evolving.serve_task(task, batch_mode="node")
+            want, _, _ = fresh.serve_task(task, batch_mode="node")
+            assert np.array_equal(got, want)
+            got_e, _, _ = evolving.embed_batch(padded, "node")
+            want_e, _, _ = fresh.embed_batch(padded, "node")
+            assert np.array_equal(got_e, want_e)
+
+    def test_attach_rejects_wrong_size_index(self, task_bundle):
+        fresh = task_bundle.prepare()
+        wrong = EmbeddingIndex(np.zeros((fresh.num_base + 1, 2)))
+        with pytest.raises(ServingError):
+            fresh.attach_embedding_index(wrong)
